@@ -1,0 +1,89 @@
+"""Benchmark regenerating Figure 6: OI bounds vs. machine balance.
+
+For every kernel the OI upper bound is instantiated at the PolyBench LARGE
+dataset with the paper's architecture parameters (machine balance of 8
+flops/word, 256 kB fast memory), an achieved OI is measured by running a
+tiled schedule of a scaled-down instance through the LRU cache simulator (the
+PLuTo + Dinero stand-in), and the kernel is classified as compute-bound,
+bandwidth-bound or undecided.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PAPER_MACHINE_BALANCE
+from repro.polybench import analyze_kernel, figure6_rows, get_kernel, simulate_tiled_oi, untiled_oi
+
+from conftest import write_markdown_table
+
+#: Kernels with both a fast derivation and a tractable small-instance CDAG.
+FIGURE6_KERNELS = [
+    "gemm", "atax", "bicg", "mvt", "gesummv", "trisolv",
+    "cholesky", "lu", "covariance", "durbin", "syrk", "trmm", "jacobi-1d",
+]
+
+SIMULATION_INSTANCES = {
+    "gemm": {"Ni": 10, "Nj": 10, "Nk": 10},
+    "atax": {"M": 12, "N": 12},
+    "bicg": {"M": 12, "N": 12},
+    "mvt": {"N": 12},
+    "gesummv": {"N": 12},
+    "trisolv": {"N": 14},
+    "cholesky": {"N": 12},
+    "lu": {"N": 10},
+    "covariance": {"M": 10, "N": 10},
+    "durbin": {"N": 14},
+    "syrk": {"N": 10, "M": 10},
+    "trmm": {"M": 10, "N": 10},
+    "jacobi-1d": {"T": 8, "N": 20},
+}
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_classification(benchmark):
+    """Regenerate the Figure 6 classification table."""
+
+    def build_rows():
+        analyses = [analyze_kernel(name) for name in FIGURE6_KERNELS]
+        return figure6_rows(
+            analyses,
+            simulate=True,
+            simulation_instances=SIMULATION_INSTANCES,
+            simulation_cache=64,
+        )
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    path = write_markdown_table("figure6", rows)
+    assert path.exists()
+    # Sanity of the reproduction's qualitative shape: gemm-like kernels must
+    # have an OI upper bound far above the machine balance, while the
+    # low-reuse kernels must sit below it.
+    by_kernel = {row["kernel"]: row for row in rows}
+    assert by_kernel["gemm"]["OI_up"] > PAPER_MACHINE_BALANCE
+    assert by_kernel["atax"]["OI_up"] < PAPER_MACHINE_BALANCE
+    assert by_kernel["trisolv"]["OI_up"] < PAPER_MACHINE_BALANCE
+
+
+@pytest.mark.benchmark(group="figure6-simulation")
+@pytest.mark.parametrize("kernel", ["gemm", "cholesky", "jacobi-1d"])
+def test_cache_simulation_tiled(benchmark, kernel):
+    """Time the cache simulation of a tiled schedule (the Dinero stand-in)."""
+    spec = get_kernel(kernel)
+    instance = SIMULATION_INSTANCES[kernel]
+    oi = benchmark(simulate_tiled_oi, spec, instance, 64)
+    assert oi is None or oi > 0
+
+
+@pytest.mark.benchmark(group="figure6-simulation")
+def test_tiled_beats_untiled_gemm(benchmark):
+    """Tiling must improve the achieved OI of gemm (the paper's motivation)."""
+    spec = get_kernel("gemm")
+    instance = {"Ni": 12, "Nj": 12, "Nk": 12}
+
+    def both():
+        return simulate_tiled_oi(spec, instance, 64), untiled_oi(spec, instance, 64)
+
+    tiled, untiled = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert tiled is not None and untiled is not None
+    assert tiled >= untiled

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Run IOLB over a selection of PolyBench kernels and print a Table-1 style report.
+
+For each kernel the script prints the derived OI upper bound next to the
+values reported in the paper (Table 1), and classifies the kernel against a
+machine balance the way Figure 6 does.
+
+Usage::
+
+    python examples/polybench_report.py [kernel ...]
+
+Without arguments a representative subset covering all four categories of
+Table 1 is analysed (running all 30 kernels takes a few minutes).
+"""
+
+import sys
+
+from repro.core import PAPER_CACHE_WORDS, PAPER_MACHINE_BALANCE, classify
+from repro.polybench import analyze_kernel, kernel_names
+
+DEFAULT_SELECTION = [
+    "gemm",            # category 1: tileable, OI_up = sqrt(S)
+    "cholesky",        # category 1: Appendix A worked example
+    "lu",              # category 1: Appendix B worked example
+    "covariance",      # category 1
+    "jacobi-1d",       # category 1: stencil, OI_up = O(S)
+    "atax",            # category 2: low reuse, OI_up = 4
+    "trisolv",         # category 2
+    "durbin",          # category 3: wavefront-limited, constant OI
+    "nussinov",        # category 4: paper reports an unavoidable gap
+]
+
+
+def main(names):
+    print(f"{'kernel':<16} {'OI_up (repro)':<28} {'OI_up (paper)':<18} "
+          f"{'OI_manual':<14} {'class @ MB=8'}")
+    print("-" * 96)
+    for name in names:
+        analysis = analyze_kernel(name)
+        spec = analysis.spec
+        instance = dict(spec.large_instance)
+        instance["S"] = PAPER_CACHE_WORDS
+        oi_numeric = analysis.result.evaluate_oi_upper(instance)
+        verdict = classify(oi_numeric, None, PAPER_MACHINE_BALANCE)
+        print(
+            f"{name:<16} {str(analysis.oi_upper):<28} {spec.paper_oi_upper:<18} "
+            f"{spec.paper_oi_manual:<14} {verdict.value} (OI_up={oi_numeric:,.1f})"
+        )
+
+
+if __name__ == "__main__":
+    selected = sys.argv[1:] or DEFAULT_SELECTION
+    unknown = [n for n in selected if n not in kernel_names()]
+    if unknown:
+        raise SystemExit(f"unknown kernels: {unknown}; available: {kernel_names()}")
+    main(selected)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare the IOLB lower bound with the data movement of concrete schedules.
+
+This is a miniature version of the paper's Sec. 8.2 experiment: for gemm we
+
+1. derive the parametric lower bound Q_low(S, Ni, Nj, Nk),
+2. expand the explicit CDAG for a small instance,
+3. simulate an *untiled* (program-order) schedule and a *tiled* schedule
+   through an LRU cache of S words, and
+4. check that both schedules move at least Q_low words, and that tiling gets
+   much closer to the bound — the gap the paper's tool is designed to expose.
+"""
+
+from repro.core import derive_bounds
+from repro.ir import CDAG
+from repro.pebble import lexicographic_schedule, simulate_schedule, tiled_schedule
+from repro.polybench import get_kernel
+
+
+def main():
+    spec = get_kernel("gemm")
+    result = derive_bounds(spec.program, max_depth=0)
+    print("parametric lower bound:", result.asymptotic)
+
+    instance = {"Ni": 16, "Nj": 16, "Nk": 16}
+    cache_words = 64
+    cdag = CDAG.expand(spec.program, instance)
+    print(f"\nCDAG for {instance}: {len(cdag.compute_vertices())} operations, "
+          f"{len(cdag.inputs)} inputs, cache = {cache_words} words\n")
+
+    bound = result.evaluate({**instance, "S": cache_words})
+    print(f"{'schedule':<22} {'loads':>8} {'OI (flops/word)':>16}")
+    print("-" * 50)
+
+    untiled = simulate_schedule(cdag, lexicographic_schedule(cdag), cache_words, policy="lru")
+    print(f"{'untiled (ijk order)':<22} {untiled.loads:>8} "
+          f"{2 * untiled.operations / untiled.loads:>16.2f}")
+
+    for tile in (2, 4, 8):
+        schedule = tiled_schedule(cdag, {"S": (tile, tile, 16)})
+        tiled = simulate_schedule(cdag, schedule, cache_words, policy="lru")
+        print(f"{f'tiled {tile}x{tile}x16':<22} {tiled.loads:>8} "
+              f"{2 * tiled.operations / tiled.loads:>16.2f}")
+
+    print("-" * 50)
+    print(f"{'IOLB lower bound':<22} {max(bound, 0):>8.0f}")
+    print("\nEvery simulated schedule is a legal red-white pebble game, so its")
+    print("load count can never be below the IOLB bound; tiling narrows the gap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+``pip install -e .`` cannot build the PEP 517 editable wheel.  This shim lets
+``python setup.py develop`` (and the legacy ``pip install -e . --no-use-pep517``
+path) install the package from ``pyproject.toml`` metadata instead.
+"""
+
+from setuptools import setup
+
+setup()

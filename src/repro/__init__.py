@@ -1,0 +1,34 @@
+"""repro — a reproduction of IOLB (Olivry et al., PLDI 2020).
+
+Automated derivation of parametric data-movement (I/O) lower bounds for
+affine programs, and of the corresponding upper bounds on operational
+intensity (OI).
+
+Typical usage::
+
+    from repro import polybench
+    from repro.core import derive_bounds
+
+    spec = polybench.get_kernel("gemm")
+    result = derive_bounds(spec.program)
+    print(result.asymptotic)        # ~ 2*Ni*Nj*Nk/sqrt(S)
+    print(result.oi_upper_bound())  # ~ sqrt(S)
+"""
+
+from . import core, ir, linalg, pebble, polybench, sets
+from .core import derive_bounds
+from .ir import AffineProgram, ProgramBuilder
+
+__all__ = [
+    "AffineProgram",
+    "ProgramBuilder",
+    "core",
+    "derive_bounds",
+    "ir",
+    "linalg",
+    "pebble",
+    "polybench",
+    "sets",
+]
+
+__version__ = "1.0.0"

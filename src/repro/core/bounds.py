@@ -1,0 +1,173 @@
+"""Symbolic I/O lower-bound expressions.
+
+The bounds produced by IOLB are functions of the program parameters
+(``N``, ``M``, ...) and of the fast-memory capacity ``S``.  This module wraps
+the sympy plumbing:
+
+* ``S_SYMBOL`` — the cache-size symbol shared by the whole library;
+* :func:`asymptotic_leading` — the "keep only the dominant term" simplification
+  used for the right-hand column of Table 2, under the paper's asymptotic
+  assumption (all parameters tend to infinity and ``S = o(parameters)``);
+* :class:`SubBound` — one lower bound for one sub-CDAG, together with its
+  may-spill set (needed by the decomposition lemma);
+* :class:`IOBoundResult` — the final result of Algorithm 6 for a program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import sympy
+
+from ..sets import ParamSet, sym
+
+#: Fast-memory capacity symbol (number of words that fit in cache/scratchpad).
+S_SYMBOL: sympy.Symbol = sym("S")
+
+#: Growth degree assigned to program parameters vs. the cache size when
+#: extracting asymptotically dominant terms:  params ~ t**PARAM_DEGREE,
+#: S ~ t**S_DEGREE with PARAM_DEGREE > S_DEGREE encodes  S = o(params).
+PARAM_DEGREE = 4
+S_DEGREE = 2
+
+
+def growth_degree(term: sympy.Expr, param_names: set[str]) -> sympy.Rational:
+    """Growth degree of a monomial (product) under params ~ t^4, S ~ t^2."""
+    degree = sympy.Rational(0)
+    for base, exponent in term.as_powers_dict().items():
+        if not base.free_symbols and not isinstance(base, sympy.Symbol):
+            continue
+        if isinstance(base, sympy.Symbol):
+            if base == S_SYMBOL:
+                degree += S_DEGREE * exponent
+            elif base.name in param_names:
+                degree += PARAM_DEGREE * exponent
+        else:
+            # Composite base (e.g. (S + 1)**(1/2)): use the degree of its
+            # fastest-growing term, times the exponent.
+            degree += expression_degree(base, param_names) * exponent
+    return degree
+
+
+def expression_degree(expr: sympy.Expr, param_names: set[str]) -> sympy.Rational:
+    """Growth degree of an arbitrary expression (max over its added terms)."""
+    expr = expr.replace(sympy.floor, lambda x: x)
+    expr = expr.replace(sympy.Max, lambda *args: sympy.Add(*args))
+    terms = sympy.Add.make_args(sympy.expand(expr))
+    degrees = [growth_degree(term, param_names) for term in terms]
+    return max(degrees) if degrees else sympy.Rational(0)
+
+
+def asymptotic_leading(expr: sympy.Expr, param_names: set[str]) -> sympy.Expr:
+    """Keep only the asymptotically dominant term(s) of an expression.
+
+    floor(x) is replaced by x and Max(...) by its dominant argument, matching
+    the way the paper turns the complete formulae of Table 2 into the
+    asymptotic ones.
+    """
+    expr = expr.replace(sympy.floor, lambda x: x)
+    expr = expr.replace(
+        sympy.Max,
+        lambda *args: max(args, key=lambda a: expression_degree(a, param_names)),
+    )
+    expr = sympy.expand(sympy.powsimp(expr))
+    return _leading_term(expr, param_names)
+
+
+def _leading_term(expr: sympy.Expr, param_names: set[str]) -> sympy.Expr:
+    expr = sympy.expand(expr)
+    terms = sympy.Add.make_args(expr)
+    if len(terms) == 1:
+        return terms[0]
+    best_degree = None
+    best_terms: list[sympy.Expr] = []
+    for term in terms:
+        degree = growth_degree(term, param_names)
+        if best_degree is None or degree > best_degree:
+            best_degree = degree
+            best_terms = [term]
+        elif degree == best_degree:
+            best_terms.append(term)
+    return sympy.Add(*best_terms)
+
+
+def evaluate(expr: sympy.Expr, instance: Mapping[str, object]) -> float:
+    """Numeric value of a bound expression at a parameter/cache-size instance."""
+    substitutions = {sym(name): value for name, value in instance.items()}
+    value = expr.subs(substitutions)
+    return float(sympy.N(value))
+
+
+@dataclass
+class SubBound:
+    """A lower bound for one sub-CDAG (one output of Alg. 4, Alg. 5 or Sec. 4.3).
+
+    Attributes
+    ----------
+    expression:
+        Complete bound (sympy), possibly containing ``floor`` and ``Max``.
+    smooth:
+        The same bound without ``floor``/``Max`` — still a valid lower bound
+        (floors were only dropped in the safe direction) and easier to sum,
+        compare and simplify.
+    may_spill:
+        Map from statement name to the may-spill vertex set of the sub-CDAG
+        (Def. 4.1), used by the decomposition lemma to decide which bounds may
+        be added together.
+    method:
+        ``"kpartition"`` or ``"wavefront"``.
+    statement:
+        The DFG vertex the derivation was centred on.
+    depth:
+        Loop-parametrisation depth (0 means no parametrisation).
+    """
+
+    expression: sympy.Expr
+    smooth: sympy.Expr
+    may_spill: dict[str, ParamSet] = field(default_factory=dict)
+    method: str = "kpartition"
+    statement: str = ""
+    depth: int = 0
+    notes: str = ""
+
+    def evaluate(self, instance: Mapping[str, object]) -> float:
+        return evaluate(self.smooth, instance)
+
+
+@dataclass
+class IOBoundResult:
+    """Final result of the IOLB derivation for one program."""
+
+    program_name: str
+    parameters: tuple[str, ...]
+    expression: sympy.Expr
+    smooth: sympy.Expr
+    asymptotic: sympy.Expr
+    input_size: sympy.Expr
+    total_flops: sympy.Expr
+    sub_bounds: list[SubBound] = field(default_factory=list)
+    log: list[str] = field(default_factory=list)
+
+    def oi_upper_bound(self) -> sympy.Expr:
+        """Parametric upper bound on operational intensity: #ops / Q_low."""
+        params = set(self.parameters)
+        ratio = sympy.simplify(
+            asymptotic_leading(self.total_flops, params) / self.asymptotic
+        )
+        return asymptotic_leading(sympy.expand(ratio), params | {"S"})
+
+    def evaluate(self, instance: Mapping[str, object]) -> float:
+        """Numeric lower bound at a parameter/cache-size instance."""
+        return evaluate(self.smooth, instance)
+
+    def evaluate_oi_upper(self, instance: Mapping[str, object]) -> float:
+        flops = evaluate(self.total_flops, instance)
+        q_low = max(self.evaluate(instance), 1.0)
+        return flops / q_low
+
+    def __repr__(self) -> str:
+        return (
+            f"IOBoundResult({self.program_name!r}, Q_low ~ {self.asymptotic}, "
+            f"OI_up ~ {self.oi_upper_bound()})"
+        )

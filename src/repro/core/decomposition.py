@@ -1,0 +1,83 @@
+"""CDAG decomposition and combination of sub-bounds (Sec. 4, Algorithm 1).
+
+Under the no-recomputation model, lower bounds obtained for sub-CDAGs whose
+*may-spill* sets are pairwise disjoint can be summed (Lemma 4.2).  The
+functions here implement
+
+* the interference test between may-spill sets,
+* ``combine_sub_q`` — the greedy combination of Algorithm 1 (driven by a
+  concrete parameter instance, while the returned expression stays valid for
+  all parameter values), and
+* the subtraction of an accepted bound's may-spill set from the remaining
+  "working copy" of the DFG domains (the ``G'`` of Algorithm 6).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import sympy
+
+from ..sets import ParamSet
+from .bounds import SubBound
+
+MIN_USEFUL_VALUE = 1.0
+
+
+def may_spill_interferes(a: dict[str, ParamSet], b: dict[str, ParamSet]) -> bool:
+    """True unless the two may-spill sets are provably disjoint."""
+    for node, set_a in a.items():
+        set_b = b.get(node)
+        if set_b is None:
+            continue
+        if not set_a.intersect(set_b).is_empty():
+            return True
+    return False
+
+
+def combine_sub_q(
+    bounds: list[SubBound], instance: Mapping[str, object]
+) -> tuple[sympy.Expr, list[SubBound]]:
+    """Algorithm 1 (greedy variant): sum as many non-interfering bounds as possible.
+
+    Bounds are ranked by their value at the heuristic parameter ``instance``;
+    a bound is accepted when its may-spill set does not interfere with any
+    already accepted bound.  The returned expression is the sum of the
+    accepted bounds' smooth expressions — a valid lower bound for every
+    parameter value by Lemma 4.2.
+    """
+    scored: list[tuple[float, SubBound]] = []
+    for bound in bounds:
+        try:
+            value = bound.evaluate(instance)
+        except (TypeError, ValueError):
+            value = 0.0
+        if value >= MIN_USEFUL_VALUE:
+            scored.append((value, bound))
+    scored.sort(key=lambda pair: pair[0], reverse=True)
+
+    accepted: list[SubBound] = []
+    total = sympy.Integer(0)
+    for _, bound in scored:
+        if any(may_spill_interferes(bound.may_spill, other.may_spill) for other in accepted):
+            continue
+        accepted.append(bound)
+        total = total + bound.smooth
+    return sympy.expand(total), accepted
+
+
+def remove_may_spill(
+    domains: dict[str, ParamSet], may_spill: dict[str, ParamSet]
+) -> dict[str, ParamSet]:
+    """Return the working domains with a bound's may-spill vertices removed.
+
+    This is the ``G' := G' - Q.may-spill`` step of Algorithm 6: it steers the
+    search for further sub-CDAGs towards parts of the computation that can
+    still contribute a non-interfering bound.
+    """
+    updated = dict(domains)
+    for node, spill in may_spill.items():
+        if node not in updated:
+            continue
+        updated[node] = updated[node].subtract(spill).coalesce()
+    return updated

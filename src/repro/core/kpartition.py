@@ -1,0 +1,143 @@
+"""K-partition lower bound derivation (Sec. 5, Algorithm 4).
+
+Given a statement-centric sub-CDAG described by a set of DFG-paths all ending
+at a statement ``S`` (with a common applicability domain ``D``), this module
+derives the (S+T)-partitioning lower bound
+
+    Q  >=  floor(|D| / U) * T  -  |I|
+
+where ``U`` bounds the size of any (S+T)-bounded vertex set via the discrete
+Brascamp-Lieb inequality with the summed-projection refinement of Lemma 5.2,
+``T = S / (sigma - 1)`` maximises the leading term, and ``I`` is the union of
+the path source sets (an over-approximation of the sub-CDAG sources, which is
+the safe direction).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import sympy
+
+from ..ir import DFG
+from ..linalg import SubspaceLattice
+from ..sets import CountingError, ParamSet, card, card_upper
+from .bounds import S_SYMBOL, SubBound
+from .brascamp_lieb import solve_exponents
+from .interference import coeff_interf, path_source_set
+from .paths import BROADCAST, DFGPath
+
+
+def sub_param_q_by_partition(
+    dfg: DFG,
+    statement: str,
+    paths: list[DFGPath],
+    domain: ParamSet,
+    lattice: SubspaceLattice,
+    depth: int = 0,
+) -> SubBound | None:
+    """Algorithm 4: derive a lower bound from a path combination.
+
+    Returns ``None`` when the combination cannot produce a non-trivial bound
+    (infeasible exponents, sigma <= 1, or a domain we cannot count exactly).
+    """
+    if not paths:
+        return None
+
+    kernels = [path.kernel() for path in paths]
+    betas = coeff_interf(dfg, paths, domain)
+    solution = solve_exponents(kernels, lattice, betas)
+    if solution is None:
+        return None
+    sigma = solution.sigma
+    if sigma <= 1:
+        return None
+
+    # T = S / (sigma - 1);  K = S + T = S * sigma / (sigma - 1).
+    sigma_expr = sympy.Rational(sigma.numerator, sigma.denominator)
+    t_expr = S_SYMBOL / (sigma_expr - 1)
+    k_expr = S_SYMBOL + t_expr
+
+    # U = prod_j ( K * s_j / (beta_j * sigma) )^{s_j}   (Lemma 5.2)
+    u_expr = sympy.Integer(1)
+    for s_j, beta_j in zip(solution.exponents, betas):
+        if s_j == 0:
+            continue
+        s_rat = sympy.Rational(s_j.numerator, s_j.denominator)
+        beta_rat = sympy.Rational(beta_j.numerator, beta_j.denominator)
+        u_expr *= (k_expr * s_rat / (beta_rat * sigma_expr)) ** s_rat
+    u_expr = sympy.powsimp(u_expr, force=True)
+
+    try:
+        domain_card = card(domain)
+    except CountingError:
+        return None
+    source_cards = sympy.Integer(0)
+    may_spill: dict[str, ParamSet] = {}
+    _accumulate_may_spill(may_spill, statement, domain)
+    for path in paths:
+        source_set = path_source_set(dfg, path, domain)
+        if path.source == statement:
+            # Vertices of D itself are never sources of the sub-CDAG (each has
+            # a predecessor along every selected path), so only the part of
+            # the preimage outside D counts towards |Sources(V)|.
+            source_set = source_set.subtract(domain).coalesce()
+        try:
+            source_cards += card_upper(source_set)
+        except CountingError:
+            try:
+                # Fall back to the size of the whole source-node domain: a
+                # larger subtraction keeps the bound valid.
+                source_cards += _node_domain_card(dfg, path.source)
+            except CountingError:
+                return None
+        for node, function in path.intermediate_functions:
+            if node not in dfg.program.statements:
+                continue
+            space = dfg.program.statement(node).space
+            _accumulate_may_spill(may_spill, node, function.image_of(domain, space))
+
+    q_full = sympy.Max(
+        sympy.floor(domain_card / u_expr) * t_expr - source_cards, sympy.Integer(0)
+    )
+    q_smooth = sympy.expand((domain_card / u_expr - 1) * t_expr - source_cards)
+
+    notes = (
+        f"paths={[p.describe() for p in paths]}, "
+        f"s={[str(s) for s in solution.exponents]}, beta={[str(b) for b in betas]}, "
+        f"sigma={sigma}, T={t_expr}, U={u_expr}"
+    )
+    return SubBound(
+        expression=q_full,
+        smooth=q_smooth,
+        may_spill=may_spill,
+        method="kpartition",
+        statement=statement,
+        depth=depth,
+        notes=notes,
+    )
+
+
+def _accumulate_may_spill(
+    may_spill: dict[str, ParamSet], node: str, addition: ParamSet
+) -> None:
+    if node in may_spill:
+        may_spill[node] = may_spill[node].union(addition)
+    else:
+        may_spill[node] = addition
+
+
+def _node_domain_card(dfg: DFG, node: str) -> sympy.Expr:
+    """Cardinality of a DFG node's full domain (raises CountingError on failure)."""
+    if node in dfg.program.statements:
+        domain = dfg.program.statement(node).domain
+    else:
+        domain = dfg.program.array(node).domain
+    return card(domain)
+
+
+def path_kind_summary(paths: list[DFGPath]) -> str:
+    """Human-readable one-liner describing a path combination."""
+    broadcasts = sum(1 for p in paths if p.kind == BROADCAST)
+    chains = len(paths) - broadcasts
+    return f"{len(paths)} paths ({broadcasts} broadcast, {chains} chain)"

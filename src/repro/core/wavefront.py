@@ -1,0 +1,193 @@
+"""Wavefront lower bound derivation (Sec. 6, Corollary 6.3, Algorithm 5).
+
+The wavefront argument applies when two consecutive "slices" of a statement's
+iteration space (two successive values of an outer loop index) are linked by
+
+* ``m`` vertex-disjoint paths from slice ``Omega`` to slice ``Omega + 1``
+  (typically the point-wise self-dependence ``S[Omega, x] -> S[Omega+1, x]``),
+  and
+* complete reachability: every vertex of slice ``Omega + 1`` is reachable from
+  every vertex of slice ``Omega`` (typically through a reduction into a scalar
+  that is then broadcast to the whole next slice).
+
+Then any schedule has a wavefront of at least ``m`` live values, hence
+``Q >= m - S`` for that slice pair; summing over the outer loop (Sec. 4.3)
+gives bounds such as ``(M-1)(N-S)`` for Example 2 and the ``adi``/``durbin``
+bounds of Table 2.
+
+The paper's Algorithm 5 establishes the completeness hypothesis symbolically
+with ISL relation algebra (including transitive closures).  This reproduction
+uses a *structural detector* (a bottleneck statement whose value is broadcast
+to the whole next slice) combined with an *explicit validation* of the
+hypothesis on small concretely-expanded CDAGs — see DESIGN.md, deviation 3.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import networkx as nx
+import sympy
+
+from ..ir import CDAG, DFG
+from ..sets import CountingError, LinExpr, ParamSet, card, lin_to_sympy, sym
+from .bounds import S_SYMBOL, SubBound
+from .paths import CHAIN, genpaths
+
+OMEGA_PREFIX = "Omega"
+
+
+def sub_param_q_by_wavefront(
+    dfg: DFG,
+    statement: str,
+    depth: int = 1,
+    validation_instance: Mapping[str, int] | None = None,
+    validate: bool = True,
+) -> SubBound | None:
+    """Derive a wavefront bound for ``statement`` parametrised at loop ``depth``.
+
+    Returns ``None`` when the structural pattern is absent or when the
+    explicit validation of the reachability hypothesis fails.
+    """
+    program = dfg.program
+    stmt = program.statement(statement)
+    dims = stmt.dims
+    if len(dims) <= depth or depth < 1:
+        return None
+    slice_dim = dims[depth - 1]
+    inner_dims = dims[depth:]
+
+    # 1. A point-wise chain circuit stepping +1 along the sliced dimension
+    #    provides the vertex-disjoint paths L_j of Corollary 6.3.
+    chain = _find_unit_chain(dfg, statement, dims, depth)
+    if chain is None:
+        return None
+
+    # 2. A broadcast bottleneck: an edge into `statement` whose read function
+    #    ignores every inner dimension (all instances of a slice read the same
+    #    producer instance), coming from another statement.
+    if not _has_broadcast_bottleneck(dfg, statement, inner_dims):
+        return None
+
+    # 3. Validate the complete-reachability hypothesis on small instances.
+    if validate:
+        instance = validation_instance or {p: 4 for p in program.params}
+        if not _validate_reachability(dfg, statement, depth, instance):
+            return None
+
+    # 4. Parametric bound: for each value Omega of the sliced dimension,
+    #    Q(G|V_Omega) >= |slice(Omega)| - S ; sum over the admissible Omegas.
+    omega = f"{OMEGA_PREFIX}{depth}"
+    slice_domain = stmt.domain.fix_dim(slice_dim, LinExpr.var(omega))
+    try:
+        slice_card = card(slice_domain)
+    except CountingError:
+        return None
+
+    bounds = _omega_range(stmt.domain, slice_dim)
+    if bounds is None:
+        return None
+    low_expr, high_expr = bounds
+    omega_symbol = sym(omega)
+    per_slice = slice_card - S_SYMBOL
+    # Slices are counted from the second iteration onwards (the first has no
+    # predecessor slice), mirroring the (M-1)(N-S) shape of Example 2.
+    total = sympy.summation(per_slice, (omega_symbol, lin_to_sympy(low_expr) + 1, lin_to_sympy(high_expr)))
+    total = sympy.expand(total)
+
+    may_spill = {statement: stmt.domain}
+    notes = f"wavefront over {slice_dim}, chain {chain.describe()}"
+    return SubBound(
+        expression=sympy.Max(total, sympy.Integer(0)),
+        smooth=total,
+        may_spill=may_spill,
+        method="wavefront",
+        statement=statement,
+        depth=depth,
+        notes=notes,
+    )
+
+
+def _find_unit_chain(dfg: DFG, statement: str, dims: tuple[str, ...], depth: int):
+    """Find a chain circuit stepping +1 in the sliced dim and 0 elsewhere."""
+    for path in genpaths(dfg, statement, max_length=1):
+        if path.kind != CHAIN:
+            continue
+        delta = path.function.translation_vector()
+        forward = [-d for d in delta]
+        expected = [1 if i == depth - 1 else 0 for i in range(len(dims))]
+        if list(map(int, forward)) == expected:
+            return path
+    return None
+
+
+def _has_broadcast_bottleneck(dfg: DFG, statement: str, inner_dims: tuple[str, ...]) -> bool:
+    """True when some dependence into ``statement`` ignores all inner dims."""
+    for dep in dfg.edges_into(statement):
+        if dep.source not in dfg.program.statements:
+            continue
+        if dep.source == statement:
+            continue
+        if all(not expr.depends_on(inner_dims) for expr in dep.function.exprs):
+            return True
+    return False
+
+
+def _omega_range(domain: ParamSet, slice_dim: str) -> tuple[LinExpr, LinExpr] | None:
+    """Lower/upper bounds of the sliced dimension over the whole domain."""
+    projected = domain.project_onto([slice_dim])
+    lower: LinExpr | None = None
+    upper: LinExpr | None = None
+    for piece in projected.pieces:
+        for constraint in piece.constraints:
+            coeff = constraint.expr.coeff(slice_dim)
+            if coeff == 0:
+                continue
+            rest = LinExpr(
+                {n: c for n, c in constraint.expr.coeffs.items() if n != slice_dim},
+                constraint.expr.const,
+            )
+            if abs(coeff) != 1:
+                return None
+            if coeff > 0:
+                lower = -rest if lower is None else lower
+            else:
+                upper = rest if upper is None else upper
+    if lower is None or upper is None:
+        return None
+    return lower, upper
+
+
+def _validate_reachability(
+    dfg: DFG, statement: str, depth: int, instance: Mapping[str, int]
+) -> bool:
+    """Check Corollary 6.3's hypothesis on a concretely expanded CDAG.
+
+    For two consecutive slices of the statement, every vertex of the later
+    slice must be reachable from every vertex of the earlier one.
+    """
+    try:
+        cdag = CDAG.expand(dfg.program, instance)
+    except Exception:
+        return False
+    slice_index = depth - 1
+    vertices = cdag.statement_vertices(statement)
+    if not vertices:
+        return False
+    slice_values = sorted({point[slice_index] for _, point in vertices})
+    if len(slice_values) < 2:
+        return False
+    checked_pairs = 0
+    for earlier, later in zip(slice_values, slice_values[1:]):
+        v1 = [v for v in vertices if v[1][slice_index] == earlier]
+        v2 = [v for v in vertices if v[1][slice_index] == later]
+        if not v1 or not v2:
+            continue
+        for source in v1:
+            reachable = nx.descendants(cdag.graph, source)
+            if not all(target in reachable for target in v2):
+                return False
+        checked_pairs += 1
+        if checked_pairs >= 2:
+            break
+    return checked_pairs > 0

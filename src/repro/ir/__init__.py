@@ -1,0 +1,17 @@
+"""Program representation: affine programs, data-flow graphs and explicit CDAGs."""
+
+from .cdag import CDAG, Vertex
+from .dfg import DFG
+from .program import AffineProgram, Array, ArrayAccess, FlowDep, ProgramBuilder, Statement
+
+__all__ = [
+    "AffineProgram",
+    "Array",
+    "ArrayAccess",
+    "CDAG",
+    "DFG",
+    "FlowDep",
+    "ProgramBuilder",
+    "Statement",
+    "Vertex",
+]

@@ -1,0 +1,17 @@
+"""Red-white pebble game, schedules and cache simulation on explicit CDAGs."""
+
+from .cache import SimulationResult, simulate_schedule
+from .game import GameState, Move, PebbleGameError, validate_game
+from .schedules import lexicographic_schedule, tiled_schedule, topological_schedule
+
+__all__ = [
+    "GameState",
+    "Move",
+    "PebbleGameError",
+    "SimulationResult",
+    "lexicographic_schedule",
+    "simulate_schedule",
+    "tiled_schedule",
+    "topological_schedule",
+    "validate_game",
+]

@@ -1,0 +1,158 @@
+"""Cache simulators that execute a schedule and count loads.
+
+These play the role of the Dinero cache simulator in the paper's Sec. 8.2
+experiment: given a schedule (an ordered list of compute vertices of an
+explicit CDAG), they simulate a fully-associative fast memory of ``S`` values
+with either an LRU or an optimal (Belady) replacement policy and return the
+number of loads — which, divided into the operation count, gives the achieved
+operational intensity of that schedule.
+
+Every simulation is expressed as a sequence of red-white pebble game moves and
+validated by :mod:`repro.pebble.game`, so the reported cost is guaranteed to
+be the cost of a *legal* game; in particular it can never be below the IOLB
+lower bound (the property the integration tests check).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, defaultdict
+from dataclasses import dataclass
+
+from ..ir import CDAG, Vertex
+from .game import GameState, Move
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one schedule against one cache configuration."""
+
+    loads: int
+    evictions: int
+    operations: int
+    capacity: int
+    policy: str
+
+    def operational_intensity(self, flops_per_op: float = 1.0) -> float:
+        """Achieved OI = #flops / #words loaded."""
+        if self.loads == 0:
+            return float("inf")
+        return self.operations * flops_per_op / self.loads
+
+
+class _ReplacementPolicy:
+    """Interface for replacement policies over a fully-associative cache."""
+
+    def touch(self, vertex: Vertex, time: int) -> None:
+        raise NotImplementedError
+
+    def choose_victim(self, resident: set[Vertex], protected: set[Vertex], time: int) -> Vertex:
+        raise NotImplementedError
+
+
+class _LRUPolicy(_ReplacementPolicy):
+    def __init__(self) -> None:
+        self.last_use: "OrderedDict[Vertex, int]" = OrderedDict()
+
+    def touch(self, vertex: Vertex, time: int) -> None:
+        self.last_use[vertex] = time
+        self.last_use.move_to_end(vertex)
+
+    def choose_victim(self, resident: set[Vertex], protected: set[Vertex], time: int) -> Vertex:
+        for vertex in self.last_use:
+            if vertex in resident and vertex not in protected:
+                return vertex
+        # Fall back to any unprotected resident value.
+        for vertex in resident:
+            if vertex not in protected:
+                return vertex
+        raise RuntimeError("no evictable value: cache too small for one operation")
+
+
+class _BeladyPolicy(_ReplacementPolicy):
+    """Optimal (furthest-next-use) replacement, given the whole schedule."""
+
+    def __init__(self, future_uses: dict[Vertex, list[int]]):
+        self.future_uses = future_uses
+
+    def touch(self, vertex: Vertex, time: int) -> None:
+        uses = self.future_uses.get(vertex)
+        while uses and uses[0] <= time:
+            uses.pop(0)
+
+    def choose_victim(self, resident: set[Vertex], protected: set[Vertex], time: int) -> Vertex:
+        best_vertex = None
+        best_next_use = -1
+        for vertex in resident:
+            if vertex in protected:
+                continue
+            uses = self.future_uses.get(vertex, [])
+            next_use = uses[0] if uses else float("inf")
+            if next_use > best_next_use:
+                best_next_use = next_use
+                best_vertex = vertex
+        if best_vertex is None:
+            raise RuntimeError("no evictable value: cache too small for one operation")
+        return best_vertex
+
+
+def simulate_schedule(
+    cdag: CDAG,
+    schedule: list[Vertex],
+    capacity: int,
+    policy: str = "lru",
+) -> SimulationResult:
+    """Execute a topological schedule with the given replacement policy.
+
+    Each scheduled operation loads (or reuses) its operands, computes its
+    value into fast memory, and evicts as needed.  The move sequence is
+    validated against the pebble-game rules, so the returned load count is the
+    cost of a legal S-RW game.
+    """
+    if policy not in ("lru", "opt"):
+        raise ValueError(f"unknown replacement policy {policy!r}")
+    if not cdag.is_valid_schedule(schedule):
+        raise ValueError("schedule is not a valid topological order of the CDAG")
+
+    if policy == "lru":
+        replacement: _ReplacementPolicy = _LRUPolicy()
+    else:
+        future_uses: dict[Vertex, list[int]] = defaultdict(list)
+        for time, vertex in enumerate(schedule):
+            for operand in cdag.graph.predecessors(vertex):
+                future_uses[operand].append(time)
+        replacement = _BeladyPolicy(dict(future_uses))
+
+    state = GameState(cdag, capacity)
+    evictions = 0
+
+    for time, vertex in enumerate(schedule):
+        operands = list(cdag.graph.predecessors(vertex))
+        if len(operands) + 1 > capacity:
+            raise ValueError(
+                f"cache of {capacity} words cannot hold the {len(operands)} operands of {vertex}"
+            )
+        protected = set(operands) | {vertex}
+        for operand in operands:
+            if operand in state.red:
+                replacement.touch(operand, time)
+                continue
+            if len(state.red) >= capacity:
+                victim = replacement.choose_victim(state.red, protected, time)
+                state.apply(Move("evict", victim))
+                evictions += 1
+            state.apply(Move("load", operand))
+            replacement.touch(operand, time)
+        if len(state.red) >= capacity:
+            victim = replacement.choose_victim(state.red, protected, time)
+            state.apply(Move("evict", victim))
+            evictions += 1
+        state.apply(Move("compute", vertex))
+        replacement.touch(vertex, time)
+
+    return SimulationResult(
+        loads=state.loads,
+        evictions=evictions,
+        operations=len(schedule),
+        capacity=capacity,
+        policy=policy,
+    )

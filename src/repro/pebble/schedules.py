@@ -1,0 +1,82 @@
+"""Schedule generators for explicit CDAGs.
+
+The Sec. 8.2 experiment compares the IOLB upper bound on operational intensity
+with the OI achieved by concrete schedules.  PLuTo-generated tiled code is not
+available offline, so we generate schedules directly on the expanded CDAG:
+
+* ``lexicographic_schedule`` — the original program order (statement instances
+  sorted lexicographically on their iteration vectors, statements interleaved
+  at the innermost shared level), i.e. the untiled baseline;
+* ``tiled_schedule`` — a rectangularly tiled order of the same instances
+  (tiles executed one after the other, lexicographically within a tile), the
+  stand-in for PLuTo's tiling;
+* ``topological_schedule`` — an arbitrary valid order, useful as a fallback
+  for programs whose lexicographic order is not a topological order of the
+  simplified DFG.
+
+All generated schedules are checked for validity against the CDAG before use.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..ir import CDAG, Vertex
+
+
+def topological_schedule(cdag: CDAG) -> list[Vertex]:
+    """Any topological order of the compute vertices."""
+    compute = set(cdag.compute_vertices())
+    return [v for v in cdag.topological_order() if v in compute]
+
+
+def lexicographic_schedule(cdag: CDAG, statement_order: Sequence[str] | None = None) -> list[Vertex]:
+    """Program-order schedule: iteration vectors ascending, statements interleaved.
+
+    Statement instances are ordered by their iteration vector first and by the
+    statement's position in ``statement_order`` (default: program declaration
+    order) to break ties, which reproduces the textual order of a loop nest in
+    which the statements share their outer loops.  Falls back to a topological
+    order when the result violates a dependence.
+    """
+    order = list(statement_order or cdag.program.statements.keys())
+    rank = {name: index for index, name in enumerate(order)}
+
+    def key(vertex: Vertex):
+        name, point = vertex
+        return (point + (float("inf"),) * 8)[:8], rank.get(name, len(rank))
+
+    schedule = sorted(cdag.compute_vertices(), key=key)
+    if cdag.is_valid_schedule(schedule):
+        return schedule
+    return topological_schedule(cdag)
+
+
+def tiled_schedule(
+    cdag: CDAG,
+    tile_sizes: Mapping[str, Sequence[int]],
+    statement_order: Sequence[str] | None = None,
+) -> list[Vertex]:
+    """Rectangularly tiled schedule.
+
+    ``tile_sizes[statement]`` gives the tile edge length per dimension of that
+    statement (1 = untiled dimension).  Instances are ordered by their tile
+    coordinates first, then lexicographically within the tile.  Falls back to
+    a topological order if the tiling is not legal for the CDAG.
+    """
+    order = list(statement_order or cdag.program.statements.keys())
+    rank = {name: index for index, name in enumerate(order)}
+
+    def key(vertex: Vertex):
+        name, point = vertex
+        sizes = tile_sizes.get(name, (1,) * len(point))
+        tile_coord = tuple(
+            coordinate // size if size > 0 else coordinate
+            for coordinate, size in zip(point, sizes)
+        )
+        return tile_coord, rank.get(name, len(rank)), point
+
+    schedule = sorted(cdag.compute_vertices(), key=key)
+    if cdag.is_valid_schedule(schedule):
+        return schedule
+    return topological_schedule(cdag)

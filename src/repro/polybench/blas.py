@@ -1,0 +1,450 @@
+"""PolyBench BLAS-like kernels: matrix products and matrix-vector computations.
+
+Kernels: gemm, 2mm, 3mm, symm, syrk, syr2k, trmm, doitgen, atax, bicg, mvt,
+gemver, gesummv.
+"""
+
+from __future__ import annotations
+
+from ..ir import AffineProgram, ProgramBuilder
+from .registry import (
+    CATEGORY_LOW_REUSE,
+    CATEGORY_TILEABLE,
+    KernelSpec,
+    register,
+)
+
+
+def _matmul_statement(
+    builder: ProgramBuilder,
+    stmt: str,
+    i_dim: str,
+    j_dim: str,
+    k_dim: str,
+    left: str,
+    right: str,
+    params: str,
+    flops: int = 2,
+) -> ProgramBuilder:
+    """Add a dense matrix-product statement ``stmt[i,j,k]`` with its reuse edges.
+
+    The statement accumulates over ``k`` (chain circuit), broadcasts
+    ``left[i,k]`` along ``j`` and ``right[k,j]`` along ``i`` — the canonical
+    gemm dependence pattern of the paper's running example.
+    """
+    domain = (
+        f"[{params}] -> {{ {stmt}[i, j, k] : 0 <= i < {i_dim} "
+        f"and 0 <= j < {j_dim} and 0 <= k < {k_dim} }}"
+    )
+    builder.add_statement(domain, flops=flops)
+    builder.add_dependence(
+        f"[{params}] -> {{ {stmt}[i, j, k] -> {stmt}[i, j, k - 1] : "
+        f"0 <= i < {i_dim} and 0 <= j < {j_dim} and 1 <= k < {k_dim} }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ {stmt}[i, j, k] -> {left}[i, k] : "
+        f"0 <= i < {i_dim} and 0 <= j < {j_dim} and 0 <= k < {k_dim} }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ {stmt}[i, j, k] -> {right}[k, j] : "
+        f"0 <= i < {i_dim} and 0 <= j < {j_dim} and 0 <= k < {k_dim} }}"
+    )
+    return builder
+
+
+# ---------------------------------------------------------------------------
+# gemm, 2mm, 3mm
+# ---------------------------------------------------------------------------
+
+def build_gemm() -> AffineProgram:
+    """C := alpha*A*B + beta*C."""
+    builder = ProgramBuilder("gemm", ["Ni", "Nj", "Nk"])
+    builder.add_array("[Ni, Nk] -> { A[i, k] : 0 <= i < Ni and 0 <= k < Nk }")
+    builder.add_array("[Nk, Nj] -> { B[k, j] : 0 <= k < Nk and 0 <= j < Nj }")
+    builder.add_array("[Ni, Nj] -> { C[i, j] : 0 <= i < Ni and 0 <= j < Nj }", is_output=True)
+    _matmul_statement(builder, "S", "Ni", "Nj", "Nk", "A", "B", "Ni, Nj, Nk")
+    builder.add_dependence(
+        "[Ni, Nj, Nk] -> { S[i, j, k] -> C[i, j] : 0 <= i < Ni and 0 <= j < Nj and k = 0 }"
+    )
+    return builder.build()
+
+
+def build_2mm() -> AffineProgram:
+    """D := alpha*A*B*C + beta*D (two chained matrix products)."""
+    params = "Ni, Nj, Nk, Nl"
+    builder = ProgramBuilder("2mm", ["Ni", "Nj", "Nk", "Nl"])
+    builder.add_array(f"[{params}] -> {{ A[i, k] : 0 <= i < Ni and 0 <= k < Nk }}")
+    builder.add_array(f"[{params}] -> {{ B[k, j] : 0 <= k < Nk and 0 <= j < Nj }}")
+    builder.add_array(f"[{params}] -> {{ C[j, l] : 0 <= j < Nj and 0 <= l < Nl }}")
+    builder.add_array(f"[{params}] -> {{ D[i, l] : 0 <= i < Ni and 0 <= l < Nl }}", is_output=True)
+    # tmp[i, j] = sum_k A[i, k] * B[k, j]
+    _matmul_statement(builder, "T1", "Ni", "Nj", "Nk", "A", "B", params)
+    # D[i, l] += sum_j tmp[i, j] * C[j, l]
+    builder.add_statement(
+        f"[{params}] -> {{ T2[i, l, j] : 0 <= i < Ni and 0 <= l < Nl and 0 <= j < Nj }}", flops=2
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ T2[i, l, j] -> T2[i, l, j - 1] : 0 <= i < Ni and 0 <= l < Nl and 1 <= j < Nj }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ T2[i, l, j] -> T1[i, j, Nk - 1] : 0 <= i < Ni and 0 <= l < Nl and 0 <= j < Nj }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ T2[i, l, j] -> C[j, l] : 0 <= i < Ni and 0 <= l < Nl and 0 <= j < Nj }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ T2[i, l, j] -> D[i, l] : 0 <= i < Ni and 0 <= l < Nl and j = 0 }}"
+    )
+    return builder.build()
+
+
+def build_3mm() -> AffineProgram:
+    """G := (A*B) * (C*D) (three matrix products)."""
+    params = "Ni, Nj, Nk, Nl, Nm"
+    builder = ProgramBuilder("3mm", ["Ni", "Nj", "Nk", "Nl", "Nm"])
+    builder.add_array(f"[{params}] -> {{ A[i, k] : 0 <= i < Ni and 0 <= k < Nk }}")
+    builder.add_array(f"[{params}] -> {{ B[k, j] : 0 <= k < Nk and 0 <= j < Nj }}")
+    builder.add_array(f"[{params}] -> {{ C[j, m] : 0 <= j < Nj and 0 <= m < Nm }}")
+    builder.add_array(f"[{params}] -> {{ D[m, l] : 0 <= m < Nm and 0 <= l < Nl }}")
+    # E[i, j] = A * B
+    _matmul_statement(builder, "E", "Ni", "Nj", "Nk", "A", "B", params)
+    # F[j, l] = C * D
+    _matmul_statement(builder, "F", "Nj", "Nl", "Nm", "C", "D", params)
+    # G[i, l] = sum_j E[i, j] * F[j, l]
+    builder.add_statement(
+        f"[{params}] -> {{ G[i, l, j] : 0 <= i < Ni and 0 <= l < Nl and 0 <= j < Nj }}", flops=2
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ G[i, l, j] -> G[i, l, j - 1] : 0 <= i < Ni and 0 <= l < Nl and 1 <= j < Nj }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ G[i, l, j] -> E[i, j, Nk - 1] : 0 <= i < Ni and 0 <= l < Nl and 0 <= j < Nj }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ G[i, l, j] -> F[j, l, Nm - 1] : 0 <= i < Ni and 0 <= l < Nl and 0 <= j < Nj }}"
+    )
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# symm, syrk, syr2k, trmm, doitgen
+# ---------------------------------------------------------------------------
+
+def build_symm() -> AffineProgram:
+    """C := alpha*A*B + beta*C with A symmetric (stored triangular)."""
+    builder = ProgramBuilder("symm", ["M", "N"])
+    builder.add_array("[M] -> { A[i, k] : 0 <= i < M and 0 <= k <= i }")
+    builder.add_array("[M, N] -> { B[k, j] : 0 <= k < M and 0 <= j < N }")
+    builder.add_array("[M, N] -> { C[i, j] : 0 <= i < M and 0 <= j < N }", is_output=True)
+    builder.add_statement(
+        "[M, N] -> { S[i, j, k] : 0 <= i < M and 0 <= j < N and 0 <= k < M }", flops=2
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> S[i, j, k - 1] : 0 <= i < M and 0 <= j < N and 1 <= k < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> A[i, k] : 0 <= i < M and 0 <= j < N and 0 <= k <= i }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> A[k, i] : 0 <= i < M and 0 <= j < N and i < k < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> B[k, j] : 0 <= i < M and 0 <= j < N and 0 <= k < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> C[i, j] : 0 <= i < M and 0 <= j < N and k = 0 }"
+    )
+    return builder.build()
+
+
+def build_syrk() -> AffineProgram:
+    """C := alpha*A*A^T + beta*C (lower triangle)."""
+    builder = ProgramBuilder("syrk", ["N", "M"])
+    builder.add_array("[N, M] -> { A[i, k] : 0 <= i < N and 0 <= k < M }")
+    builder.add_array("[N] -> { C[i, j] : 0 <= i < N and 0 <= j <= i }", is_output=True)
+    builder.add_statement(
+        "[N, M] -> { S[i, j, k] : 0 <= i < N and 0 <= j <= i and 0 <= k < M }", flops=1
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> S[i, j, k - 1] : 0 <= i < N and 0 <= j <= i and 1 <= k < M }"
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> A[i, k] : 0 <= i < N and 0 <= j <= i and 0 <= k < M }"
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> A[j, k] : 0 <= i < N and 0 <= j <= i and 0 <= k < M }"
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> C[i, j] : 0 <= i < N and 0 <= j <= i and k = 0 }"
+    )
+    return builder.build()
+
+
+def build_syr2k() -> AffineProgram:
+    """C := alpha*A*B^T + alpha*B*A^T + beta*C (lower triangle)."""
+    builder = ProgramBuilder("syr2k", ["N", "M"])
+    builder.add_array("[N, M] -> { A[i, k] : 0 <= i < N and 0 <= k < M }")
+    builder.add_array("[N, M] -> { B[i, k] : 0 <= i < N and 0 <= k < M }")
+    builder.add_array("[N] -> { C[i, j] : 0 <= i < N and 0 <= j <= i }", is_output=True)
+    builder.add_statement(
+        "[N, M] -> { S[i, j, k] : 0 <= i < N and 0 <= j <= i and 0 <= k < M }", flops=2
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> S[i, j, k - 1] : 0 <= i < N and 0 <= j <= i and 1 <= k < M }"
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> A[i, k] : 0 <= i < N and 0 <= j <= i and 0 <= k < M }"
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> B[j, k] : 0 <= i < N and 0 <= j <= i and 0 <= k < M }"
+    )
+    builder.add_dependence(
+        "[N, M] -> { S[i, j, k] -> C[i, j] : 0 <= i < N and 0 <= j <= i and k = 0 }"
+    )
+    return builder.build()
+
+
+def build_trmm() -> AffineProgram:
+    """B := alpha*A*B with A lower triangular."""
+    builder = ProgramBuilder("trmm", ["M", "N"])
+    builder.add_array("[M] -> { A[i, k] : 0 <= i < M and 0 <= k < i }")
+    builder.add_array("[M, N] -> { B[i, j] : 0 <= i < M and 0 <= j < N }", is_output=True)
+    builder.add_statement(
+        "[M, N] -> { S[i, j, k] : 0 <= i < M and 0 <= j < N and i < k < M }", flops=2
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> S[i, j, k - 1] : 0 <= i < M and 0 <= j < N and i + 1 < k < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> A[k, i] : 0 <= i < M and 0 <= j < N and i < k < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> B[k, j] : 0 <= i < M and 0 <= j < N and i < k < M }"
+    )
+    return builder.build()
+
+
+def build_doitgen() -> AffineProgram:
+    """Multi-resolution analysis kernel: sum[r,q,p] = sum_s A[r,q,s]*C4[s,p]."""
+    params = "Nr, Nq, Np"
+    builder = ProgramBuilder("doitgen", ["Nr", "Nq", "Np"])
+    builder.add_array(f"[{params}] -> {{ A[r, q, s] : 0 <= r < Nr and 0 <= q < Nq and 0 <= s < Np }}")
+    builder.add_array(f"[{params}] -> {{ C4[s, p] : 0 <= s < Np and 0 <= p < Np }}")
+    builder.add_statement(
+        f"[{params}] -> {{ S[r, q, p, s] : 0 <= r < Nr and 0 <= q < Nq and 0 <= p < Np and 0 <= s < Np }}",
+        flops=2,
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ S[r, q, p, s] -> S[r, q, p, s - 1] : "
+        f"0 <= r < Nr and 0 <= q < Nq and 0 <= p < Np and 1 <= s < Np }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ S[r, q, p, s] -> A[r, q, s] : "
+        f"0 <= r < Nr and 0 <= q < Nq and 0 <= p < Np and 0 <= s < Np }}"
+    )
+    builder.add_dependence(
+        f"[{params}] -> {{ S[r, q, p, s] -> C4[s, p] : "
+        f"0 <= r < Nr and 0 <= q < Nq and 0 <= p < Np and 0 <= s < Np }}"
+    )
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Matrix-vector kernels (low reuse): atax, bicg, mvt, gemver, gesummv
+# ---------------------------------------------------------------------------
+
+def build_atax() -> AffineProgram:
+    """y = A^T (A x)."""
+    builder = ProgramBuilder("atax", ["M", "N"])
+    builder.add_array("[M, N] -> { A[i, j] : 0 <= i < M and 0 <= j < N }")
+    builder.add_array("[N] -> { x[j] : 0 <= j < N }")
+    builder.add_statement("[M, N] -> { T[i, j] : 0 <= i < M and 0 <= j < N }", flops=2)
+    builder.add_statement("[M, N] -> { Y[j, i] : 0 <= j < N and 0 <= i < M }", flops=2)
+    builder.add_dependence(
+        "[M, N] -> { T[i, j] -> T[i, j - 1] : 0 <= i < M and 1 <= j < N }"
+    )
+    builder.add_dependence("[M, N] -> { T[i, j] -> A[i, j] : 0 <= i < M and 0 <= j < N }")
+    builder.add_dependence("[M, N] -> { T[i, j] -> x[j] : 0 <= i < M and 0 <= j < N }")
+    builder.add_dependence(
+        "[M, N] -> { Y[j, i] -> Y[j, i - 1] : 0 <= j < N and 1 <= i < M }"
+    )
+    builder.add_dependence("[M, N] -> { Y[j, i] -> A[i, j] : 0 <= j < N and 0 <= i < M }")
+    builder.add_dependence(
+        "[M, N] -> { Y[j, i] -> T[i, N - 1] : 0 <= j < N and 0 <= i < M }"
+    )
+    return builder.build()
+
+
+def build_bicg() -> AffineProgram:
+    """s = A^T r ; q = A p (BiCGStab subkernel)."""
+    builder = ProgramBuilder("bicg", ["M", "N"])
+    builder.add_array("[M, N] -> { A[i, j] : 0 <= i < N and 0 <= j < M }")
+    builder.add_array("[N] -> { r[i] : 0 <= i < N }")
+    builder.add_array("[M] -> { p[j] : 0 <= j < M }")
+    builder.add_statement("[M, N] -> { Ss[j, i] : 0 <= j < M and 0 <= i < N }", flops=2)
+    builder.add_statement("[M, N] -> { Sq[i, j] : 0 <= i < N and 0 <= j < M }", flops=2)
+    builder.add_dependence("[M, N] -> { Ss[j, i] -> Ss[j, i - 1] : 0 <= j < M and 1 <= i < N }")
+    builder.add_dependence("[M, N] -> { Ss[j, i] -> A[i, j] : 0 <= j < M and 0 <= i < N }")
+    builder.add_dependence("[M, N] -> { Ss[j, i] -> r[i] : 0 <= j < M and 0 <= i < N }")
+    builder.add_dependence("[M, N] -> { Sq[i, j] -> Sq[i, j - 1] : 0 <= i < N and 1 <= j < M }")
+    builder.add_dependence("[M, N] -> { Sq[i, j] -> A[i, j] : 0 <= i < N and 0 <= j < M }")
+    builder.add_dependence("[M, N] -> { Sq[i, j] -> p[j] : 0 <= i < N and 0 <= j < M }")
+    return builder.build()
+
+
+def build_mvt() -> AffineProgram:
+    """x1 += A y1 ; x2 += A^T y2."""
+    builder = ProgramBuilder("mvt", ["N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_array("[N] -> { y1[j] : 0 <= j < N }")
+    builder.add_array("[N] -> { y2[j] : 0 <= j < N }")
+    builder.add_statement("[N] -> { S1[i, j] : 0 <= i < N and 0 <= j < N }", flops=2)
+    builder.add_statement("[N] -> { S2[i, j] : 0 <= i < N and 0 <= j < N }", flops=2)
+    builder.add_dependence("[N] -> { S1[i, j] -> S1[i, j - 1] : 0 <= i < N and 1 <= j < N }")
+    builder.add_dependence("[N] -> { S1[i, j] -> A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { S1[i, j] -> y1[j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { S2[i, j] -> S2[i, j - 1] : 0 <= i < N and 1 <= j < N }")
+    builder.add_dependence("[N] -> { S2[i, j] -> A[j, i] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { S2[i, j] -> y2[j] : 0 <= i < N and 0 <= j < N }")
+    return builder.build()
+
+
+def build_gemver() -> AffineProgram:
+    """A' = A + u1 v1^T + u2 v2^T ; x = beta A'^T y + z ; w = alpha A' x."""
+    builder = ProgramBuilder("gemver", ["N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_array("[N] -> { u1[i] : 0 <= i < N }")
+    builder.add_array("[N] -> { v1[j] : 0 <= j < N }")
+    builder.add_array("[N] -> { u2[i] : 0 <= i < N }")
+    builder.add_array("[N] -> { v2[j] : 0 <= j < N }")
+    builder.add_array("[N] -> { y[i] : 0 <= i < N }")
+    builder.add_array("[N] -> { z[i] : 0 <= i < N }")
+    # Ahat[i, j] = A[i, j] + u1[i]*v1[j] + u2[i]*v2[j]
+    builder.add_statement("[N] -> { SA[i, j] : 0 <= i < N and 0 <= j < N }", flops=4)
+    builder.add_dependence("[N] -> { SA[i, j] -> A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { SA[i, j] -> u1[i] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { SA[i, j] -> v1[j] : 0 <= i < N and 0 <= j < N }")
+    # x[i] = beta * sum_j Ahat[j, i] * y[j] + z[i]
+    builder.add_statement("[N] -> { SX[i, j] : 0 <= i < N and 0 <= j < N }", flops=2)
+    builder.add_dependence("[N] -> { SX[i, j] -> SX[i, j - 1] : 0 <= i < N and 1 <= j < N }")
+    builder.add_dependence("[N] -> { SX[i, j] -> SA[j, i] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { SX[i, j] -> y[j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { SX[i, j] -> z[i] : 0 <= i < N and j = 0 }")
+    # w[i] = alpha * sum_j Ahat[i, j] * x[j]
+    builder.add_statement("[N] -> { SW[i, j] : 0 <= i < N and 0 <= j < N }", flops=2)
+    builder.add_dependence("[N] -> { SW[i, j] -> SW[i, j - 1] : 0 <= i < N and 1 <= j < N }")
+    builder.add_dependence("[N] -> { SW[i, j] -> SA[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { SW[i, j] -> SX[j, N - 1] : 0 <= i < N and 0 <= j < N }")
+    return builder.build()
+
+
+def build_gesummv() -> AffineProgram:
+    """y = alpha*A*x + beta*B*x."""
+    builder = ProgramBuilder("gesummv", ["N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_array("[N] -> { B[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_array("[N] -> { x[j] : 0 <= j < N }")
+    builder.add_statement("[N] -> { S[i, j] : 0 <= i < N and 0 <= j < N }", flops=4)
+    builder.add_dependence("[N] -> { S[i, j] -> S[i, j - 1] : 0 <= i < N and 1 <= j < N }")
+    builder.add_dependence("[N] -> { S[i, j] -> A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { S[i, j] -> B[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_dependence("[N] -> { S[i, j] -> x[j] : 0 <= i < N and 0 <= j < N }")
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Registration with the paper's Table 1 reference values
+# ---------------------------------------------------------------------------
+
+register(KernelSpec(
+    name="gemm", category=CATEGORY_TILEABLE, build=build_gemm,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="Ni*Nj + Nj*Nk + Ni*Nk", paper_ops="2*Ni*Nj*Nk",
+    large_instance={"Ni": 1000, "Nj": 1100, "Nk": 1200},
+))
+
+register(KernelSpec(
+    name="2mm", category=CATEGORY_TILEABLE, build=build_2mm,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="Ni*Nk + Nk*Nj + Nj*Nl + Ni*Nl",
+    paper_ops="Ni*Nj*Nk + Ni*Nj*Nl",
+    large_instance={"Ni": 800, "Nj": 900, "Nk": 1100, "Nl": 1200},
+))
+
+register(KernelSpec(
+    name="3mm", category=CATEGORY_TILEABLE, build=build_3mm,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="Ni*Nk + Nk*Nj + Nj*Nm + Nm*Nl",
+    paper_ops="Ni*Nj*Nk + Nj*Nl*Nm + Ni*Nj*Nl",
+    large_instance={"Ni": 800, "Nj": 900, "Nk": 1000, "Nl": 1100, "Nm": 1200},
+))
+
+register(KernelSpec(
+    name="symm", category=CATEGORY_TILEABLE, build=build_symm,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="M*M/2 + 2*M*N", paper_ops="2*M*M*N",
+    large_instance={"M": 1000, "N": 1200},
+))
+
+register(KernelSpec(
+    name="syrk", category=CATEGORY_TILEABLE, build=build_syrk,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="N*N/2 + M*N", paper_ops="M*N*N",
+    large_instance={"N": 1200, "M": 1000},
+))
+
+register(KernelSpec(
+    name="syr2k", category=CATEGORY_TILEABLE, build=build_syr2k,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="N*N/2 + 2*M*N", paper_ops="2*M*N*N",
+    large_instance={"N": 1200, "M": 1000},
+))
+
+register(KernelSpec(
+    name="trmm", category=CATEGORY_TILEABLE, build=build_trmm,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="M*M/2 + M*N", paper_ops="M*M*N",
+    large_instance={"M": 1000, "N": 1200},
+))
+
+register(KernelSpec(
+    name="doitgen", category=CATEGORY_TILEABLE, build=build_doitgen,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="Np*Np + Np*Nq*Nr", paper_ops="2*Nq*Nr*Np*Np",
+    large_instance={"Nr": 150, "Nq": 140, "Np": 160},
+))
+
+register(KernelSpec(
+    name="atax", category=CATEGORY_LOW_REUSE, build=build_atax,
+    paper_oi_upper="4", paper_oi_manual="4",
+    paper_input_size="M*N", paper_ops="4*M*N",
+    large_instance={"M": 1900, "N": 2100},
+))
+
+register(KernelSpec(
+    name="bicg", category=CATEGORY_LOW_REUSE, build=build_bicg,
+    paper_oi_upper="4", paper_oi_manual="4",
+    paper_input_size="M*N", paper_ops="4*M*N",
+    large_instance={"M": 1900, "N": 2100},
+))
+
+register(KernelSpec(
+    name="mvt", category=CATEGORY_LOW_REUSE, build=build_mvt,
+    paper_oi_upper="4", paper_oi_manual="4",
+    paper_input_size="N*N", paper_ops="4*N*N",
+    large_instance={"N": 2000},
+))
+
+register(KernelSpec(
+    name="gemver", category=CATEGORY_LOW_REUSE, build=build_gemver,
+    paper_oi_upper="10", paper_oi_manual="5",
+    paper_input_size="N*N", paper_ops="10*N*N",
+    large_instance={"N": 2000},
+))
+
+register(KernelSpec(
+    name="gesummv", category=CATEGORY_LOW_REUSE, build=build_gesummv,
+    paper_oi_upper="2", paper_oi_manual="2",
+    paper_input_size="2*N*N", paper_ops="4*N*N",
+    large_instance={"N": 1300},
+))

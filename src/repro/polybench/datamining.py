@@ -1,0 +1,150 @@
+"""PolyBench data-mining, dynamic-programming and medley kernels.
+
+Kernels: correlation, covariance, floyd-warshall, nussinov, deriche.
+"""
+
+from __future__ import annotations
+
+from ..ir import AffineProgram, ProgramBuilder
+from .registry import (
+    CATEGORY_LOW_REUSE,
+    CATEGORY_OVERESTIMATED,
+    CATEGORY_TILEABLE,
+    KernelSpec,
+    register,
+)
+
+
+def _covariance_like(name: str) -> AffineProgram:
+    """Shared structure of covariance/correlation: C[i,j] = sum_k D[k,i]*D[k,j]."""
+    builder = ProgramBuilder(name, ["M", "N"])
+    builder.add_array("[M, N] -> { D[k, i] : 0 <= k < N and 0 <= i < M }")
+    builder.add_statement(
+        "[M, N] -> { S[i, j, k] : 0 <= i < M and i <= j < M and 0 <= k < N }", flops=2
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> S[i, j, k - 1] : 0 <= i < M and i <= j < M and 1 <= k < N }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> D[k, i] : 0 <= i < M and i <= j < M and 0 <= k < N }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { S[i, j, k] -> D[k, j] : 0 <= i < M and i <= j < M and 0 <= k < N }"
+    )
+    return builder.build()
+
+
+def build_covariance() -> AffineProgram:
+    """Covariance matrix of a data set (mean-centred outer-product accumulation)."""
+    return _covariance_like("covariance")
+
+
+def build_correlation() -> AffineProgram:
+    """Correlation matrix (same reuse structure as covariance)."""
+    return _covariance_like("correlation")
+
+
+def build_floyd_warshall() -> AffineProgram:
+    """All-pairs shortest paths: path[i][j] = min(path[i][j], path[i][k]+path[k][j])."""
+    builder = ProgramBuilder("floyd-warshall", ["N"])
+    builder.add_array("[N] -> { path[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_statement(
+        "[N] -> { S[k, i, j] : 0 <= k < N and 0 <= i < N and 0 <= j < N }", flops=2
+    )
+    builder.add_dependence(
+        "[N] -> { S[k, i, j] -> S[k - 1, i, j] : 1 <= k < N and 0 <= i < N and 0 <= j < N }"
+    )
+    # The pivot row/column of iteration k was last updated either at k-1 or at
+    # k depending on the order between i/j and k (cf. the paper's Example 3);
+    # both cases project along the same directions, so the simpler uniform
+    # form is kept (dropping a dependence only weakens the bound).
+    builder.add_dependence(
+        "[N] -> { S[k, i, j] -> S[k - 1, i, k] : 1 <= k < N and 0 <= i < N and 0 <= j < N }"
+    )
+    builder.add_dependence(
+        "[N] -> { S[k, i, j] -> S[k - 1, k, j] : 1 <= k < N and 0 <= i < N and 0 <= j < N }"
+    )
+    builder.add_dependence(
+        "[N] -> { S[k, i, j] -> path[i, j] : k = 0 and 0 <= i < N and 0 <= j < N }"
+    )
+    return builder.build()
+
+
+def build_nussinov() -> AffineProgram:
+    """RNA secondary-structure dynamic program (triangular matmul-like recursion)."""
+    builder = ProgramBuilder("nussinov", ["N"])
+    builder.add_array("[N] -> { seq[i] : 0 <= i < N }")
+    builder.add_array("[N] -> { tbl[i, j] : 0 <= i < N and i <= j < N }")
+    # table[i][j] = max over k in (i, j) of table[i][k] + table[k+1][j]
+    builder.add_statement(
+        "[N] -> { S[i, j, k] : 0 <= i < N and i + 1 <= j < N and i <= k < j }", flops=2
+    )
+    builder.add_dependence(
+        "[N] -> { S[i, j, k] -> S[i, j, k - 1] : 0 <= i < N and i + 1 <= j < N and i + 1 <= k < j }"
+    )
+    builder.add_dependence(
+        "[N] -> { S[i, j, k] -> S[i, k, k - 1] : 0 <= i < N and i + 1 <= j < N and i + 1 <= k < j }"
+    )
+    builder.add_dependence(
+        "[N] -> { S[i, j, k] -> S[k + 1, j, j - 1] : 0 <= i < N and i + 1 <= j < N and i <= k < j - 1 }"
+    )
+    builder.add_dependence(
+        "[N] -> { S[i, j, k] -> seq[i] : 0 <= i < N and i + 1 <= j < N and k = i }"
+    )
+    builder.add_dependence(
+        "[N] -> { S[i, j, k] -> tbl[i, j] : 0 <= i < N and i + 1 <= j < N and k = i }"
+    )
+    return builder.build()
+
+
+def build_deriche() -> AffineProgram:
+    """Deriche recursive edge detection filter (horizontal + vertical IIR passes)."""
+    builder = ProgramBuilder("deriche", ["W", "H"])
+    builder.add_array("[W, H] -> { img[i, j] : 0 <= i < W and 0 <= j < H }")
+    # Horizontal causal pass (recurrence along j), then vertical causal pass
+    # (recurrence along i) on the result.  The anticausal passes have the same
+    # reuse structure and are folded into the per-instance operation count.
+    builder.add_statement("[W, H] -> { SH[i, j] : 0 <= i < W and 0 <= j < H }", flops=16)
+    builder.add_statement("[W, H] -> { SV[i, j] : 0 <= i < W and 0 <= j < H }", flops=16)
+    builder.add_dependence("[W, H] -> { SH[i, j] -> SH[i, j - 1] : 0 <= i < W and 1 <= j < H }")
+    builder.add_dependence("[W, H] -> { SH[i, j] -> img[i, j] : 0 <= i < W and 0 <= j < H }")
+    builder.add_dependence("[W, H] -> { SV[i, j] -> SV[i - 1, j] : 1 <= i < W and 0 <= j < H }")
+    builder.add_dependence("[W, H] -> { SV[i, j] -> SH[i, j] : 0 <= i < W and 0 <= j < H }")
+    return builder.build()
+
+
+register(KernelSpec(
+    name="covariance", category=CATEGORY_TILEABLE, build=build_covariance,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="M*N", paper_ops="M*M*N",
+    large_instance={"M": 1200, "N": 1400},
+))
+
+register(KernelSpec(
+    name="correlation", category=CATEGORY_TILEABLE, build=build_correlation,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="M*N", paper_ops="M*M*N",
+    large_instance={"M": 1200, "N": 1400},
+))
+
+register(KernelSpec(
+    name="floyd-warshall", category=CATEGORY_TILEABLE, build=build_floyd_warshall,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="N*N", paper_ops="2*N**3",
+    large_instance={"N": 2800},
+))
+
+register(KernelSpec(
+    name="nussinov", category=CATEGORY_OVERESTIMATED, build=build_nussinov,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="1",
+    paper_input_size="N*N/2", paper_ops="N**3/3",
+    large_instance={"N": 2500},
+    notes="paper reports the geometric OI_up is not achievable (category 4)",
+))
+
+register(KernelSpec(
+    name="deriche", category=CATEGORY_LOW_REUSE, build=build_deriche,
+    paper_oi_upper="32", paper_oi_manual="16/3",
+    paper_input_size="H*W", paper_ops="32*H*W",
+    large_instance={"W": 4096, "H": 2160},
+))

@@ -1,0 +1,232 @@
+"""PolyBench linear-algebra solvers and decompositions.
+
+Kernels: cholesky, lu, ludcmp, trisolv, durbin, gramschmidt.
+"""
+
+from __future__ import annotations
+
+from ..ir import AffineProgram, ProgramBuilder
+from .registry import (
+    CATEGORY_LOW_REUSE,
+    CATEGORY_OVERESTIMATED,
+    CATEGORY_TILEABLE,
+    CATEGORY_WAVEFRONT,
+    KernelSpec,
+    register,
+)
+
+
+def build_cholesky() -> AffineProgram:
+    """Cholesky factorisation (the paper's Appendix A worked example)."""
+    builder = ProgramBuilder("cholesky", ["N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j <= i }")
+    builder.add_statement("[N] -> { S1[k] : 0 <= k < N }", flops=1)
+    builder.add_statement("[N] -> { S2[k, i] : 0 <= k < N and k + 1 <= i < N }", flops=1)
+    builder.add_statement(
+        "[N] -> { S3[k, i, j] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }", flops=2
+    )
+    builder.add_dependence(
+        "[N] -> { S3[k, i, j] -> S3[k - 1, i, j] : 1 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }"
+    )
+    builder.add_dependence(
+        "[N] -> { S3[k, i, j] -> S2[k, j] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }"
+    )
+    builder.add_dependence(
+        "[N] -> { S3[k, i, j] -> S2[k, i] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }"
+    )
+    builder.add_dependence(
+        "[N] -> { S2[k, i] -> S3[k - 1, i, k] : 1 <= k < N and k + 1 <= i < N }"
+    )
+    builder.add_dependence("[N] -> { S2[k, i] -> S1[k] : 0 <= k < N and k + 1 <= i < N }")
+    builder.add_dependence("[N] -> { S1[k] -> S3[k - 1, k, k] : 1 <= k < N }")
+    builder.add_dependence("[N] -> { S3[k, i, j] -> A[i, j] : k = 0 and 1 <= i < N and 1 <= j <= i }")
+    builder.add_dependence("[N] -> { S2[k, i] -> A[i, k] : k = 0 and 1 <= i < N }")
+    builder.add_dependence("[N] -> { S1[k] -> A[k, k] : k = 0 }")
+    return builder.build()
+
+
+def build_lu() -> AffineProgram:
+    """LU factorisation (the paper's Appendix B worked example)."""
+    builder = ProgramBuilder("lu", ["N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_statement("[N] -> { S1[k, i] : 0 <= k < N and k + 1 <= i < N }", flops=1)
+    builder.add_statement(
+        "[N] -> { S2[k, i, j] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j < N }", flops=2
+    )
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> S2[k - 1, i, j] : 1 <= k < N and k + 1 <= i < N and k + 1 <= j < N }"
+    )
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> S2[k - 1, k, j] : 1 <= k < N and k + 1 <= i < N and k + 1 <= j < N }"
+    )
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> S1[k, i] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j < N }"
+    )
+    builder.add_dependence("[N] -> { S1[k, i] -> S2[k - 1, i, k] : 1 <= k < N and k + 1 <= i < N }")
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> A[i, j] : k = 0 and 1 <= i < N and 1 <= j < N }"
+    )
+    builder.add_dependence("[N] -> { S1[k, i] -> A[i, k] : k = 0 and 1 <= i < N }")
+    return builder.build()
+
+
+def build_ludcmp() -> AffineProgram:
+    """LU decomposition followed by forward/backward triangular solves."""
+    builder = ProgramBuilder("ludcmp", ["N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_array("[N] -> { b[i] : 0 <= i < N }")
+    # Factorisation (same pattern as lu).
+    builder.add_statement("[N] -> { S1[k, i] : 0 <= k < N and k + 1 <= i < N }", flops=1)
+    builder.add_statement(
+        "[N] -> { S2[k, i, j] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j < N }", flops=2
+    )
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> S2[k - 1, i, j] : 1 <= k < N and k + 1 <= i < N and k + 1 <= j < N }"
+    )
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> S2[k - 1, k, j] : 1 <= k < N and k + 1 <= i < N and k + 1 <= j < N }"
+    )
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> S1[k, i] : 0 <= k < N and k + 1 <= i < N and k + 1 <= j < N }"
+    )
+    builder.add_dependence("[N] -> { S1[k, i] -> S2[k - 1, i, k] : 1 <= k < N and k + 1 <= i < N }")
+    builder.add_dependence(
+        "[N] -> { S2[k, i, j] -> A[i, j] : k = 0 and 1 <= i < N and 1 <= j < N }"
+    )
+    builder.add_dependence("[N] -> { S1[k, i] -> A[i, k] : k = 0 and 1 <= i < N }")
+    # Forward substitution y = L^-1 b and backward substitution x = U^-1 y.
+    builder.add_statement("[N] -> { SY[i, j] : 0 <= i < N and 0 <= j < i }", flops=2)
+    builder.add_dependence("[N] -> { SY[i, j] -> SY[i, j - 1] : 0 <= i < N and 1 <= j < i }")
+    builder.add_dependence(
+        "[N] -> { SY[i, j] -> S2[j, i, j] : 0 <= i < N and 0 <= j < i and j + 1 <= i }"
+    )
+    builder.add_dependence("[N] -> { SY[i, j] -> b[i] : 0 <= i < N and j = 0 }")
+    builder.add_statement("[N] -> { SX[i, j] : 0 <= i < N and i < j < N }", flops=2)
+    builder.add_dependence("[N] -> { SX[i, j] -> SX[i, j - 1] : 0 <= i < N and i + 1 < j < N }")
+    builder.add_dependence(
+        "[N] -> { SX[i, j] -> S2[i, i, j] : 0 <= i < N and i < j < N }"
+    )
+    return builder.build()
+
+
+def build_trisolv() -> AffineProgram:
+    """Lower-triangular solve x = L^-1 b."""
+    builder = ProgramBuilder("trisolv", ["N"])
+    builder.add_array("[N] -> { L[i, j] : 0 <= i < N and 0 <= j <= i }")
+    builder.add_array("[N] -> { b[i] : 0 <= i < N }")
+    builder.add_statement("[N] -> { S[i, j] : 0 <= i < N and 0 <= j < i }", flops=2)
+    builder.add_dependence("[N] -> { S[i, j] -> S[i, j - 1] : 0 <= i < N and 1 <= j < i }")
+    builder.add_dependence("[N] -> { S[i, j] -> L[i, j] : 0 <= i < N and 0 <= j < i }")
+    builder.add_dependence("[N] -> { S[i, j] -> S[j, j - 1] : 0 <= i < N and 1 <= j < i }")
+    builder.add_dependence("[N] -> { S[i, j] -> b[i] : 0 <= i < N and j = 0 }")
+    return builder.build()
+
+
+def build_durbin() -> AffineProgram:
+    """Levinson-Durbin recursion (Toeplitz solver).
+
+    Statement roles: ``SUM[k, i]`` accumulates the dot product of the previous
+    solution with the Toeplitz column (a reduction chain over ``i``),
+    ``ALPHA[k]`` is the per-iteration scalar reflection coefficient (the
+    broadcast bottleneck), and ``Y[k, i]`` updates the solution vector.  Each
+    outer iteration therefore gathers the whole previous slice into a scalar
+    and broadcasts it back — the wavefront pattern of Sec. 6.
+    """
+    builder = ProgramBuilder("durbin", ["N"])
+    builder.add_array("[N] -> { r[i] : 0 <= i < N }")
+    builder.add_statement("[N] -> { SUM[k, i] : 1 <= k < N and 0 <= i < k }", flops=2)
+    builder.add_statement("[N] -> { ALPHA[k] : 1 <= k < N }", flops=2)
+    builder.add_statement("[N] -> { Y[k, i] : 1 <= k < N and 0 <= i < k }", flops=2)
+    # sum accumulation over i, reading the previous solution slice.
+    builder.add_dependence("[N] -> { SUM[k, i] -> SUM[k, i - 1] : 1 <= k < N and 1 <= i < k }")
+    builder.add_dependence("[N] -> { SUM[k, i] -> Y[k - 1, i] : 2 <= k < N and 0 <= i < k - 1 }")
+    builder.add_dependence("[N] -> { SUM[k, i] -> r[i] : 1 <= k < N and 0 <= i < k }")
+    # alpha reads the completed sum.
+    builder.add_dependence("[N] -> { ALPHA[k] -> SUM[k, k - 1] : 1 <= k < N }")
+    builder.add_dependence("[N] -> { ALPHA[k] -> ALPHA[k - 1] : 2 <= k < N }")
+    # solution update: previous solution (direct and reflected) and alpha.
+    builder.add_dependence("[N] -> { Y[k, i] -> Y[k - 1, i] : 2 <= k < N and 0 <= i < k - 1 }")
+    builder.add_dependence(
+        "[N] -> { Y[k, i] -> Y[k - 1, k - 1 - i] : 2 <= k < N and 1 <= i < k - 1 }"
+    )
+    builder.add_dependence("[N] -> { Y[k, i] -> ALPHA[k] : 1 <= k < N and 0 <= i < k }")
+    return builder.build()
+
+
+def build_gramschmidt() -> AffineProgram:
+    """Modified Gram-Schmidt QR factorisation (main triple loop)."""
+    builder = ProgramBuilder("gramschmidt", ["M", "N"])
+    builder.add_array("[M, N] -> { A[i, j] : 0 <= i < M and 0 <= j < N }")
+    # R[k, j] = sum_i Q[i, k] * A[i, j]   (projection coefficients)
+    builder.add_statement(
+        "[M, N] -> { R[k, j, i] : 0 <= k < N and k + 1 <= j < N and 0 <= i < M }", flops=2
+    )
+    # A[i, j] -= Q[i, k] * R[k, j]        (orthogonalisation update)
+    builder.add_statement(
+        "[M, N] -> { U[k, j, i] : 0 <= k < N and k + 1 <= j < N and 0 <= i < M }", flops=2
+    )
+    builder.add_dependence(
+        "[M, N] -> { R[k, j, i] -> R[k, j, i - 1] : 0 <= k < N and k + 1 <= j < N and 1 <= i < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { R[k, j, i] -> U[k - 1, j, i] : 1 <= k < N and k + 1 <= j < N and 0 <= i < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { U[k, j, i] -> R[k, j, M - 1] : 0 <= k < N and k + 1 <= j < N and 0 <= i < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { U[k, j, i] -> U[k - 1, j, i] : 1 <= k < N and k + 1 <= j < N and 0 <= i < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { U[k, j, i] -> A[i, j] : k = 0 and 1 <= j < N and 0 <= i < M }"
+    )
+    builder.add_dependence(
+        "[M, N] -> { R[k, j, i] -> A[i, j] : k = 0 and 1 <= j < N and 0 <= i < M }"
+    )
+    return builder.build()
+
+
+register(KernelSpec(
+    name="cholesky", category=CATEGORY_TILEABLE, build=build_cholesky,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="N*N/2", paper_ops="N**3/3",
+    large_instance={"N": 2000},
+))
+
+register(KernelSpec(
+    name="lu", category=CATEGORY_TILEABLE, build=build_lu,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="N*N", paper_ops="2*N**3/3",
+    large_instance={"N": 2000},
+))
+
+register(KernelSpec(
+    name="ludcmp", category=CATEGORY_TILEABLE, build=build_ludcmp,
+    paper_oi_upper="sqrt(S)", paper_oi_manual="sqrt(S)",
+    paper_input_size="N*N", paper_ops="2*N**3/3",
+    large_instance={"N": 2000},
+))
+
+register(KernelSpec(
+    name="trisolv", category=CATEGORY_LOW_REUSE, build=build_trisolv,
+    paper_oi_upper="2", paper_oi_manual="2",
+    paper_input_size="N*N/2", paper_ops="N*N",
+    large_instance={"N": 2000},
+))
+
+register(KernelSpec(
+    name="durbin", category=CATEGORY_WAVEFRONT, build=build_durbin,
+    paper_oi_upper="4", paper_oi_manual="2/3",
+    paper_input_size="N", paper_ops="2*N*N",
+    large_instance={"N": 2000},
+    max_depth=1,
+    notes="wavefront bound: reduction to the scalar alpha then broadcast",
+))
+
+register(KernelSpec(
+    name="gramschmidt", category=CATEGORY_OVERESTIMATED, build=build_gramschmidt,
+    paper_oi_upper="2*sqrt(S)", paper_oi_manual="1",
+    paper_input_size="M*N", paper_ops="2*M*N*N",
+    large_instance={"M": 1000, "N": 1200},
+    notes="paper reports the geometric OI_up is not achievable (category 4)",
+))

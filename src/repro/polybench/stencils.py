@@ -1,0 +1,263 @@
+"""PolyBench stencil kernels and the adi alternating-direction solver.
+
+Kernels: jacobi-1d, jacobi-2d, heat-3d, seidel-2d, fdtd-2d, adi.
+"""
+
+from __future__ import annotations
+
+from ..ir import AffineProgram, ProgramBuilder
+from .registry import (
+    CATEGORY_TILEABLE,
+    CATEGORY_WAVEFRONT,
+    KernelSpec,
+    register,
+)
+
+
+def build_jacobi_1d() -> AffineProgram:
+    """1D Jacobi: two three-point sweeps per time step (A -> B -> A)."""
+    builder = ProgramBuilder("jacobi-1d", ["T", "N"])
+    builder.add_array("[N] -> { A[i] : 0 <= i < N }")
+    builder.add_array("[N] -> { B[i] : 0 <= i < N }")
+    builder.add_statement("[T, N] -> { SB[t, i] : 0 <= t < T and 1 <= i < N - 1 }", flops=3)
+    builder.add_statement("[T, N] -> { SA[t, i] : 0 <= t < T and 1 <= i < N - 1 }", flops=3)
+    for offset, cond in (("- 1", "2 <= i < N - 1"), ("", "1 <= i < N - 1"), ("+ 1", "1 <= i < N - 2")):
+        builder.add_dependence(
+            f"[T, N] -> {{ SB[t, i] -> SA[t - 1, i {offset}] : 1 <= t < T and {cond} }}"
+        )
+        builder.add_dependence(
+            f"[T, N] -> {{ SA[t, i] -> SB[t, i {offset}] : 0 <= t < T and {cond} }}"
+        )
+    builder.add_dependence("[T, N] -> { SB[t, i] -> A[i] : t = 0 and 1 <= i < N - 1 }")
+    return builder.build()
+
+
+def build_jacobi_2d() -> AffineProgram:
+    """2D Jacobi: five-point stencil, two sweeps per time step."""
+    builder = ProgramBuilder("jacobi-2d", ["T", "N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j < N }")
+    builder.add_array("[N] -> { B[i, j] : 0 <= i < N and 0 <= j < N }")
+    interior = "1 <= i < N - 1 and 1 <= j < N - 1"
+    builder.add_statement(f"[T, N] -> {{ SB[t, i, j] : 0 <= t < T and {interior} }}", flops=5)
+    builder.add_statement(f"[T, N] -> {{ SA[t, i, j] : 0 <= t < T and {interior} }}", flops=5)
+    offsets = [("", ""), ("- 1", ""), ("+ 1", ""), ("", "- 1"), ("", "+ 1")]
+    for di, dj in offsets:
+        guard_i = "2 <= i < N - 1" if di == "- 1" else ("1 <= i < N - 2" if di == "+ 1" else "1 <= i < N - 1")
+        guard_j = "2 <= j < N - 1" if dj == "- 1" else ("1 <= j < N - 2" if dj == "+ 1" else "1 <= j < N - 1")
+        builder.add_dependence(
+            f"[T, N] -> {{ SB[t, i, j] -> SA[t - 1, i {di}, j {dj}] : 1 <= t < T and {guard_i} and {guard_j} }}"
+        )
+        builder.add_dependence(
+            f"[T, N] -> {{ SA[t, i, j] -> SB[t, i {di}, j {dj}] : 0 <= t < T and {guard_i} and {guard_j} }}"
+        )
+    builder.add_dependence(
+        f"[T, N] -> {{ SB[t, i, j] -> A[i, j] : t = 0 and {interior} }}"
+    )
+    return builder.build()
+
+
+def build_heat_3d() -> AffineProgram:
+    """3D heat equation: seven-point stencil, two sweeps per time step."""
+    builder = ProgramBuilder("heat-3d", ["T", "N"])
+    builder.add_array("[N] -> { A[i, j, k] : 0 <= i < N and 0 <= j < N and 0 <= k < N }")
+    interior = "1 <= i < N - 1 and 1 <= j < N - 1 and 1 <= k < N - 1"
+    builder.add_statement(f"[T, N] -> {{ SB[t, i, j, k] : 0 <= t < T and {interior} }}", flops=15)
+    builder.add_statement(f"[T, N] -> {{ SA[t, i, j, k] : 0 <= t < T and {interior} }}", flops=15)
+    # Centre plus the six face neighbours (guards shrink the domain slightly;
+    # the interior condition keeps every source inside the grid).
+    neighbours = [("", "", ""), ("- 1", "", ""), ("+ 1", "", ""),
+                  ("", "- 1", ""), ("", "+ 1", ""), ("", "", "- 1"), ("", "", "+ 1")]
+    for di, dj, dk in neighbours:
+        guard = (
+            f"{'2 <= i < N - 1' if di == '- 1' else ('1 <= i < N - 2' if di == '+ 1' else '1 <= i < N - 1')} and "
+            f"{'2 <= j < N - 1' if dj == '- 1' else ('1 <= j < N - 2' if dj == '+ 1' else '1 <= j < N - 1')} and "
+            f"{'2 <= k < N - 1' if dk == '- 1' else ('1 <= k < N - 2' if dk == '+ 1' else '1 <= k < N - 1')}"
+        )
+        builder.add_dependence(
+            f"[T, N] -> {{ SB[t, i, j, k] -> SA[t - 1, i {di}, j {dj}, k {dk}] : 1 <= t < T and {guard} }}"
+        )
+        builder.add_dependence(
+            f"[T, N] -> {{ SA[t, i, j, k] -> SB[t, i {di}, j {dj}, k {dk}] : 0 <= t < T and {guard} }}"
+        )
+    builder.add_dependence(
+        f"[T, N] -> {{ SB[t, i, j, k] -> A[i, j, k] : t = 0 and {interior} }}"
+    )
+    return builder.build()
+
+
+def build_seidel_2d() -> AffineProgram:
+    """2D Gauss-Seidel: in-place nine-point sweep."""
+    builder = ProgramBuilder("seidel-2d", ["T", "N"])
+    builder.add_array("[N] -> { A[i, j] : 0 <= i < N and 0 <= j < N }")
+    interior = "1 <= i < N - 1 and 1 <= j < N - 1"
+    builder.add_statement(f"[T, N] -> {{ S[t, i, j] : 0 <= t < T and {interior} }}", flops=9)
+    # In-place update: values from the current sweep (already updated
+    # neighbours) and from the previous sweep (not yet updated neighbours).
+    current = [("- 1", "- 1"), ("- 1", ""), ("- 1", "+ 1"), ("", "- 1")]
+    previous = [("", ""), ("", "+ 1"), ("+ 1", "- 1"), ("+ 1", ""), ("+ 1", "+ 1")]
+    for di, dj in current:
+        guard_i = "2 <= i < N - 1" if di == "- 1" else "1 <= i < N - 1"
+        guard_j = "2 <= j < N - 1" if dj == "- 1" else ("1 <= j < N - 2" if dj == "+ 1" else "1 <= j < N - 1")
+        builder.add_dependence(
+            f"[T, N] -> {{ S[t, i, j] -> S[t, i {di}, j {dj}] : 0 <= t < T and {guard_i} and {guard_j} }}"
+        )
+    for di, dj in previous:
+        guard_i = "1 <= i < N - 2" if di == "+ 1" else "1 <= i < N - 1"
+        guard_j = "2 <= j < N - 1" if dj == "- 1" else ("1 <= j < N - 2" if dj == "+ 1" else "1 <= j < N - 1")
+        builder.add_dependence(
+            f"[T, N] -> {{ S[t, i, j] -> S[t - 1, i {di}, j {dj}] : 1 <= t < T and {guard_i} and {guard_j} }}"
+        )
+    builder.add_dependence(f"[T, N] -> {{ S[t, i, j] -> A[i, j] : t = 0 and {interior} }}")
+    return builder.build()
+
+
+def build_fdtd_2d() -> AffineProgram:
+    """2D finite-difference time-domain: three coupled field updates per step."""
+    builder = ProgramBuilder("fdtd-2d", ["T", "Nx", "Ny"])
+    builder.add_array("[Nx, Ny] -> { ex[i, j] : 0 <= i < Nx and 0 <= j < Ny }")
+    builder.add_array("[Nx, Ny] -> { ey[i, j] : 0 <= i < Nx and 0 <= j < Ny }")
+    builder.add_array("[Nx, Ny] -> { hz[i, j] : 0 <= i < Nx and 0 <= j < Ny }")
+    # ey[i][j] -= coeff * (hz[i][j] - hz[i-1][j])
+    builder.add_statement(
+        "[T, Nx, Ny] -> { SEY[t, i, j] : 0 <= t < T and 1 <= i < Nx and 0 <= j < Ny }", flops=3
+    )
+    # ex[i][j] -= coeff * (hz[i][j] - hz[i][j-1])
+    builder.add_statement(
+        "[T, Nx, Ny] -> { SEX[t, i, j] : 0 <= t < T and 0 <= i < Nx and 1 <= j < Ny }", flops=3
+    )
+    # hz[i][j] -= coeff * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j])
+    builder.add_statement(
+        "[T, Nx, Ny] -> { SHZ[t, i, j] : 0 <= t < T and 0 <= i < Nx - 1 and 0 <= j < Ny - 1 }", flops=5
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEY[t, i, j] -> SHZ[t - 1, i, j] : 1 <= t < T and 1 <= i < Nx - 1 and 0 <= j < Ny - 1 }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEY[t, i, j] -> SHZ[t - 1, i - 1, j] : 1 <= t < T and 1 <= i < Nx and 0 <= j < Ny - 1 }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEY[t, i, j] -> SEY[t - 1, i, j] : 1 <= t < T and 1 <= i < Nx and 0 <= j < Ny }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEX[t, i, j] -> SHZ[t - 1, i, j] : 1 <= t < T and 0 <= i < Nx - 1 and 1 <= j < Ny - 1 }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEX[t, i, j] -> SHZ[t - 1, i, j - 1] : 1 <= t < T and 0 <= i < Nx - 1 and 1 <= j < Ny }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEX[t, i, j] -> SEX[t - 1, i, j] : 1 <= t < T and 0 <= i < Nx and 1 <= j < Ny }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SHZ[t, i, j] -> SEX[t, i, j + 1] : 0 <= t < T and 0 <= i < Nx - 1 and 0 <= j < Ny - 1 }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SHZ[t, i, j] -> SEY[t, i + 1, j] : 0 <= t < T and 0 <= i < Nx - 1 and 0 <= j < Ny - 1 }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SHZ[t, i, j] -> SHZ[t - 1, i, j] : 1 <= t < T and 0 <= i < Nx - 1 and 0 <= j < Ny - 1 }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SHZ[t, i, j] -> hz[i, j] : t = 0 and 0 <= i < Nx - 1 and 0 <= j < Ny - 1 }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEX[t, i, j] -> ex[i, j] : t = 0 and 0 <= i < Nx and 1 <= j < Ny }"
+    )
+    builder.add_dependence(
+        "[T, Nx, Ny] -> { SEY[t, i, j] -> ey[i, j] : t = 0 and 1 <= i < Nx and 0 <= j < Ny }"
+    )
+    return builder.build()
+
+
+def build_adi() -> AffineProgram:
+    """Alternating-direction implicit solver (simplified dependence skeleton).
+
+    Each time step runs a column sweep (recurrence along ``j``) followed by a
+    row sweep (recurrence along ``i``); both read the grid produced by the
+    previous step.  The paper proves a constant OI upper bound for adi with
+    the full wavefront machinery of Alg. 5; our restricted detector does not
+    establish the complete-reachability hypothesis for this dependence
+    pattern, so the reproduced bound falls back to the (weaker but valid)
+    K-partition/input bound — see EXPERIMENTS.md.
+    """
+    builder = ProgramBuilder("adi", ["T", "N"])
+    builder.add_array("[N] -> { u[i, j] : 0 <= i < N and 0 <= j < N }")
+    interior = "1 <= i < N - 1 and 1 <= j < N - 1"
+    # Column sweep: v[t, i, j] from v[t, i, j-1] and u of the previous step.
+    builder.add_statement(f"[T, N] -> {{ V[t, i, j] : 1 <= t < T and {interior} }}", flops=8)
+    # Row sweep: unew[t, i, j] from unew[t, i-1, j] and v of the same step.
+    builder.add_statement(f"[T, N] -> {{ U[t, i, j] : 1 <= t < T and {interior} }}", flops=7)
+    builder.add_dependence(
+        f"[T, N] -> {{ V[t, i, j] -> V[t, i, j - 1] : 1 <= t < T and 1 <= i < N - 1 and 2 <= j < N - 1 }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ V[t, i, j] -> U[t - 1, i, j] : 2 <= t < T and {interior} }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ V[t, i, j] -> U[t - 1, i - 1, j] : 2 <= t < T and 2 <= i < N - 1 and 1 <= j < N - 1 }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ V[t, i, j] -> U[t - 1, i + 1, j] : 2 <= t < T and 1 <= i < N - 2 and 1 <= j < N - 1 }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ U[t, i, j] -> U[t, i - 1, j] : 1 <= t < T and 2 <= i < N - 1 and 1 <= j < N - 1 }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ U[t, i, j] -> V[t, i, j] : 1 <= t < T and {interior} }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ U[t, i, j] -> V[t, i, j - 1] : 1 <= t < T and 1 <= i < N - 1 and 2 <= j < N - 1 }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ U[t, i, j] -> V[t, i, j + 1] : 1 <= t < T and 1 <= i < N - 1 and 1 <= j < N - 2 }}"
+    )
+    builder.add_dependence(
+        f"[T, N] -> {{ V[t, i, j] -> u[i, j] : t = 1 and {interior} }}"
+    )
+    return builder.build()
+
+
+register(KernelSpec(
+    name="jacobi-1d", category=CATEGORY_TILEABLE, build=build_jacobi_1d,
+    paper_oi_upper="24*S", paper_oi_manual="3*S/2",
+    paper_input_size="N", paper_ops="6*T*N",
+    large_instance={"T": 500, "N": 2000},
+))
+
+register(KernelSpec(
+    name="jacobi-2d", category=CATEGORY_TILEABLE, build=build_jacobi_2d,
+    paper_oi_upper="15*sqrt(3)*sqrt(S)", paper_oi_manual="5*sqrt(S)/4",
+    paper_input_size="N*N", paper_ops="10*T*N*N",
+    large_instance={"T": 500, "N": 1300},
+))
+
+register(KernelSpec(
+    name="heat-3d", category=CATEGORY_TILEABLE, build=build_heat_3d,
+    paper_oi_upper="(160/(3*3**Rational(1,3)))*S**Rational(1,3)",
+    paper_oi_manual="(5*3**Rational(1,3)/2)*S**Rational(1,3)",
+    paper_input_size="N**3", paper_ops="30*T*N**3",
+    large_instance={"T": 500, "N": 120},
+))
+
+register(KernelSpec(
+    name="seidel-2d", category=CATEGORY_TILEABLE, build=build_seidel_2d,
+    paper_oi_upper="(27*sqrt(3)/2)*sqrt(S)", paper_oi_manual="(9/4)*sqrt(S)",
+    paper_input_size="N*N", paper_ops="9*T*N*N",
+    large_instance={"T": 500, "N": 2000},
+))
+
+register(KernelSpec(
+    name="fdtd-2d", category=CATEGORY_TILEABLE, build=build_fdtd_2d,
+    paper_oi_upper="22*sqrt(2)*sqrt(S)", paper_oi_manual="(11*sqrt(3)/24)*sqrt(S)",
+    paper_input_size="3*Nx*Ny", paper_ops="11*Nx*Ny*T",
+    large_instance={"T": 500, "Nx": 1000, "Ny": 1200},
+))
+
+register(KernelSpec(
+    name="adi", category=CATEGORY_WAVEFRONT, build=build_adi,
+    paper_oi_upper="30", paper_oi_manual="5",
+    paper_input_size="N*N", paper_ops="30*N*N*T",
+    large_instance={"T": 500, "N": 1000},
+    max_depth=1,
+    notes="paper bound needs the full Alg. 5 wavefront; restricted detector "
+          "does not fire, reproduction reports the weaker partition bound",
+))

@@ -1,0 +1,178 @@
+"""Suite-level drivers: run IOLB over PolyBench and build the paper's tables.
+
+* :func:`analyze_kernel` — run the full derivation for one kernel;
+* :func:`table1_rows` — reproduce Table 1 (OI upper bound vs. the paper's
+  manually derived OI, with the tightness ratio);
+* :func:`table2_rows` — reproduce Table 2 / Appendix C (complete and
+  asymptotic lower-bound formulae);
+* :func:`figure6_rows` — reproduce Figure 6 (numeric OI upper bound vs. the OI
+  achieved by a tiled schedule on a cache simulator, against the machine
+  balance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import sympy
+
+from ..core import (
+    IOBoundResult,
+    PAPER_CACHE_WORDS,
+    PAPER_MACHINE_BALANCE,
+    classify,
+    derive_bounds,
+)
+from ..ir import CDAG
+from ..pebble import lexicographic_schedule, simulate_schedule, tiled_schedule
+from ..sets import sym
+from .registry import KernelSpec, all_kernels, get_kernel
+
+
+@dataclass
+class KernelAnalysis:
+    """Derivation result for one kernel, plus the paper's reference values."""
+
+    spec: KernelSpec
+    result: IOBoundResult
+
+    @property
+    def oi_upper(self) -> sympy.Expr:
+        return self.result.oi_upper_bound()
+
+    def oi_ratio_to_manual(self) -> sympy.Expr:
+        """OI_up / OI_manual — the tightness ratio of Table 1 (>= 1 ideally)."""
+        manual = self.spec.paper_oi_manual_expr()
+        return sympy.simplify(self.oi_upper / manual)
+
+
+def analyze_kernel(name: str, **kwargs) -> KernelAnalysis:
+    """Run the IOLB derivation on one PolyBench kernel."""
+    spec = get_kernel(name)
+    options = {"max_depth": spec.max_depth}
+    options.update(kwargs)
+    result = derive_bounds(spec.program, **options)
+    return KernelAnalysis(spec=spec, result=result)
+
+
+def analyze_suite(names: Iterable[str] | None = None, **kwargs) -> list[KernelAnalysis]:
+    """Run the derivation over the whole suite (or a subset)."""
+    specs = all_kernels() if names is None else [get_kernel(n) for n in names]
+    return [analyze_kernel(spec.name, **kwargs) for spec in specs]
+
+
+def table1_rows(analyses: Iterable[KernelAnalysis]) -> list[dict[str, object]]:
+    """Rows of Table 1: input size, #ops, OI_up (ours and paper's), OI_manual."""
+    rows = []
+    for analysis in analyses:
+        spec = analysis.spec
+        rows.append({
+            "kernel": spec.name,
+            "category": spec.category,
+            "input_size": sympy.sstr(analysis.result.input_size),
+            "ops": sympy.sstr(analysis.result.total_flops),
+            "OI_up (repro)": sympy.sstr(analysis.oi_upper),
+            "OI_up (paper)": spec.paper_oi_upper,
+            "OI_manual (paper)": spec.paper_oi_manual,
+        })
+    return rows
+
+
+def table2_rows(analyses: Iterable[KernelAnalysis]) -> list[dict[str, object]]:
+    """Rows of Table 2 / Appendix C: complete and asymptotic Q_low formulae."""
+    rows = []
+    for analysis in analyses:
+        rows.append({
+            "kernel": analysis.spec.name,
+            "Q_low (complete)": sympy.sstr(analysis.result.expression),
+            "Q_low (asymptotic)": sympy.sstr(analysis.result.asymptotic),
+        })
+    return rows
+
+
+def figure6_rows(
+    analyses: Iterable[KernelAnalysis],
+    machine_balance: float = PAPER_MACHINE_BALANCE,
+    cache_words: int = PAPER_CACHE_WORDS,
+    simulate: bool = False,
+    simulation_instances: Mapping[str, Mapping[str, int]] | None = None,
+    simulation_cache: int = 64,
+) -> list[dict[str, object]]:
+    """Rows of Figure 6: numeric OI_up vs. achieved OI vs. machine balance.
+
+    The OI upper bound is evaluated at the kernel's LARGE instance with the
+    paper's 256 kB cache.  When ``simulate`` is true, a tiled schedule of a
+    *small* instance is run through the LRU cache simulator to obtain an
+    achieved OI (the PLuTo/Dinero stand-in); the small instance and cache keep
+    the CDAG expansion tractable, and only the classification against the
+    machine balance is meant to be compared with the paper.
+    """
+    rows = []
+    for analysis in analyses:
+        spec = analysis.spec
+        instance = dict(spec.large_instance)
+        instance["S"] = cache_words
+        oi_up = analysis.result.evaluate_oi_upper(instance)
+
+        oi_achieved = None
+        if simulate:
+            small = dict((simulation_instances or {}).get(spec.name, _shrink(spec.large_instance)))
+            oi_achieved = simulate_tiled_oi(spec, small, simulation_cache)
+
+        rows.append({
+            "kernel": spec.name,
+            "OI_up": round(oi_up, 2),
+            "OI_achieved": None if oi_achieved is None else round(oi_achieved, 2),
+            "MB": machine_balance,
+            "class": classify(oi_up, oi_achieved, machine_balance).value,
+        })
+    return rows
+
+
+def simulate_tiled_oi(spec: KernelSpec, instance: Mapping[str, int], cache: int) -> float | None:
+    """Achieved OI of a tiled schedule on the LRU cache simulator.
+
+    Returns None when the kernel's CDAG cannot be expanded at the requested
+    instance (e.g. parameters too small for the dependence pattern).
+    """
+    try:
+        cdag = CDAG.expand(spec.program, instance)
+    except Exception:
+        return None
+    if not cdag.compute_vertices():
+        return None
+    tile = max(2, int(round(cache ** 0.5 / 2)))
+    tile_sizes = {
+        name: tuple(tile for _ in statement.dims)
+        for name, statement in spec.program.statements.items()
+    }
+    schedule = tiled_schedule(cdag, tile_sizes)
+    try:
+        result = simulate_schedule(cdag, schedule, cache, policy="lru")
+    except ValueError:
+        return None
+    flops = sum(
+        spec.program.statement(name).flops for name, _ in schedule
+    )
+    return flops / max(result.loads, 1)
+
+
+def untiled_oi(spec: KernelSpec, instance: Mapping[str, int], cache: int) -> float | None:
+    """Achieved OI of the untiled (program-order) schedule — the baseline."""
+    try:
+        cdag = CDAG.expand(spec.program, instance)
+    except Exception:
+        return None
+    schedule = lexicographic_schedule(cdag)
+    try:
+        result = simulate_schedule(cdag, schedule, cache, policy="lru")
+    except ValueError:
+        return None
+    flops = sum(spec.program.statement(name).flops for name, _ in schedule)
+    return flops / max(result.loads, 1)
+
+
+def _shrink(instance: Mapping[str, int], target: int = 12) -> dict[str, int]:
+    """Scale a LARGE instance down to something an explicit CDAG can hold."""
+    return {name: min(int(value), target) for name, value in instance.items()}

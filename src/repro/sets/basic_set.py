@@ -1,0 +1,253 @@
+"""Basic sets: conjunctions of affine constraints over a named space.
+
+A :class:`BasicSet` is the analogue of an ISL ``basic_set``: the set of
+integer points of a parametric polyhedron, described by equalities and
+inequalities over the space's dimensions and parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from .affine import LinExpr
+from .space import Space
+
+EQ = "eq"   # expr == 0
+GE = "ge"   # expr >= 0
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single affine constraint: ``expr == 0`` (EQ) or ``expr >= 0`` (GE)."""
+
+    expr: LinExpr
+    kind: str = GE
+
+    def __post_init__(self) -> None:
+        if self.kind not in (EQ, GE):
+            raise ValueError(f"unknown constraint kind {self.kind!r}")
+
+    def normalized(self) -> "Constraint":
+        """Scale coefficients to coprime integers (direction preserved)."""
+        return Constraint(self.expr.scaled_to_integers(), self.kind)
+
+    def is_trivially_true(self) -> bool:
+        expr = self.expr
+        if not expr.is_constant():
+            return False
+        return expr.const == 0 if self.kind == EQ else expr.const >= 0
+
+    def is_trivially_false(self) -> bool:
+        expr = self.expr
+        if not expr.is_constant():
+            return False
+        return expr.const != 0 if self.kind == EQ else expr.const < 0
+
+    def substitute(self, mapping: Mapping[str, LinExpr | int]) -> "Constraint":
+        return Constraint(self.expr.substitute(mapping), self.kind)
+
+    def satisfied_by(self, values: Mapping[str, object]) -> bool:
+        value = self.expr.evaluate(values)
+        return value == 0 if self.kind == EQ else value >= 0
+
+    def __repr__(self) -> str:
+        op = "=" if self.kind == EQ else ">="
+        return f"{self.expr!r} {op} 0"
+
+
+class BasicSet:
+    """Integer points of a parametric polyhedron over a named space."""
+
+    __slots__ = ("space", "constraints")
+
+    def __init__(self, space: Space, constraints: Iterable[Constraint] = ()):
+        self.space = space
+        normalized = []
+        seen = set()
+        for constraint in constraints:
+            constraint = constraint.normalized()
+            if constraint.is_trivially_true():
+                continue
+            key = (constraint.kind, tuple(sorted(constraint.expr.coeffs.items())), constraint.expr.const)
+            if key in seen:
+                continue
+            seen.add(key)
+            normalized.append(constraint)
+        self.constraints: tuple[Constraint, ...] = tuple(normalized)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def universe(cls, space: Space) -> "BasicSet":
+        """The unconstrained set over ``space``."""
+        return cls(space, ())
+
+    @classmethod
+    def from_bounds(
+        cls,
+        space: Space,
+        bounds: Mapping[str, tuple[LinExpr | int, LinExpr | int]],
+    ) -> "BasicSet":
+        """Convenience constructor: ``bounds[d] = (lo, hi)`` meaning ``lo <= d <= hi``."""
+        constraints = []
+        for dim, (lo, hi) in bounds.items():
+            dim_expr = LinExpr.var(dim)
+            constraints.append(Constraint(dim_expr - lo, GE))
+            constraints.append(Constraint(_as_lin(hi) - dim_expr, GE))
+        return cls(space, constraints)
+
+    # -- queries -----------------------------------------------------------
+
+    def has_trivially_false_constraint(self) -> bool:
+        return any(c.is_trivially_false() for c in self.constraints)
+
+    def equalities(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.kind == EQ]
+
+    def inequalities(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.kind == GE]
+
+    def contains_point(self, point: Sequence[int], params: Mapping[str, int]) -> bool:
+        """Membership test for a concrete point under concrete parameter values."""
+        values = dict(params)
+        values.update(dict(zip(self.space.dims, point)))
+        return all(c.satisfied_by(values) for c in self.constraints)
+
+    # -- algebra -----------------------------------------------------------
+
+    def intersect(self, other: "BasicSet") -> "BasicSet":
+        """Intersection of two basic sets over the same dimensions."""
+        if self.space.dims != other.space.dims:
+            raise ValueError("intersection of sets with different dimensions")
+        space = self.space.with_params(other.space.params)
+        return BasicSet(space, self.constraints + other.constraints)
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> "BasicSet":
+        return BasicSet(self.space, self.constraints + tuple(constraints))
+
+    def substitute(self, mapping: Mapping[str, LinExpr | int]) -> "BasicSet":
+        """Apply a substitution to every constraint (space is unchanged)."""
+        return BasicSet(self.space, tuple(c.substitute(mapping) for c in self.constraints))
+
+    def rename_dims(self, mapping: Mapping[str, str]) -> "BasicSet":
+        """Rename dimensions, keeping constraints consistent."""
+        new_dims = tuple(mapping.get(d, d) for d in self.space.dims)
+        space = Space(self.space.tuple_name, new_dims, self.space.params)
+        subst = {old: LinExpr.var(new) for old, new in mapping.items()}
+        return BasicSet(space, tuple(c.substitute(subst) for c in self.constraints))
+
+    def with_tuple_name(self, name: str) -> "BasicSet":
+        return BasicSet(self.space.rename_tuple(name), self.constraints)
+
+    def fix_dim(self, dim_name: str, value: LinExpr | int) -> "BasicSet":
+        """Add the equality ``dim == value`` (used for loop parametrisation)."""
+        expr = LinExpr.var(dim_name) - _as_lin(value)
+        extra_params = tuple(
+            n for n in _as_lin(value).names() if n not in self.space.dims and n not in self.space.params
+        )
+        space = self.space.with_params(extra_params)
+        return BasicSet(space, self.constraints + (Constraint(expr, EQ),))
+
+    # -- enumeration (for concrete parameter values) -------------------------
+
+    def enumerate_points(self, params: Mapping[str, int], bound: int = 2000) -> list[tuple[int, ...]]:
+        """Enumerate all integer points for concrete parameter values.
+
+        Intended for small instances (tests, CDAG expansion).  Dimensions are
+        assigned recursively; the bounds of each dimension are recomputed from
+        all constraints whose *other* dimensions are already fixed, which keeps
+        the search tight even when bounds couple several dimensions.  The
+        ``bound`` argument caps any dimension that remains unbounded.
+        """
+        dims = self.space.dims
+        points: list[tuple[int, ...]] = []
+
+        # Choose an assignment order in which each dimension is bounded by
+        # previously assigned dimensions and parameters whenever possible.
+        order = self._enumeration_order()
+
+        def recurse(assigned: dict[str, int]) -> None:
+            if len(assigned) == len(dims):
+                point = tuple(assigned[d] for d in dims)
+                if self.contains_point(point, params):
+                    points.append(point)
+                return
+            dim = order[len(assigned)]
+            lo, hi = -bound, bound
+            values = dict(params)
+            values.update(assigned)
+            for constraint in self.constraints:
+                coeff = constraint.expr.coeff(dim)
+                if coeff == 0:
+                    continue
+                others = constraint.expr.names() - {dim} - set(values)
+                if others & set(dims):
+                    continue
+                rest = LinExpr(
+                    {n: c for n, c in constraint.expr.coeffs.items() if n != dim},
+                    constraint.expr.const,
+                ).evaluate(values)
+                boundary = Fraction(-rest, coeff)
+                if constraint.kind == EQ:
+                    lo = max(lo, _ceil(boundary))
+                    hi = min(hi, _floor(boundary))
+                elif coeff > 0:
+                    lo = max(lo, _ceil(boundary))
+                else:
+                    hi = min(hi, _floor(boundary))
+            for value in range(lo, hi + 1):
+                assigned[dim] = value
+                recurse(assigned)
+            assigned.pop(dim, None)
+
+        recurse({})
+        return points
+
+    def _enumeration_order(self) -> list[str]:
+        """Order dimensions so each is bounded by already-chosen ones if possible."""
+        remaining = list(self.space.dims)
+        order: list[str] = []
+        while remaining:
+            best = None
+            for dim in remaining:
+                has_lower = False
+                has_upper = False
+                for constraint in self.constraints:
+                    coeff = constraint.expr.coeff(dim)
+                    if coeff == 0:
+                        continue
+                    other_dims = (constraint.expr.names() - {dim}) & set(remaining)
+                    if other_dims:
+                        continue
+                    if constraint.kind == EQ:
+                        has_lower = has_upper = True
+                    elif coeff > 0:
+                        has_lower = True
+                    else:
+                        has_upper = True
+                if has_lower and has_upper:
+                    best = dim
+                    break
+            if best is None:
+                best = remaining[0]
+            order.append(best)
+            remaining.remove(best)
+        return order
+
+    def __repr__(self) -> str:
+        constraints = " and ".join(repr(c) for c in self.constraints) or "true"
+        return f"{{ {self.space.tuple_name}[{', '.join(self.space.dims)}] : {constraints} }}"
+
+
+def _as_lin(value: LinExpr | int) -> LinExpr:
+    return value if isinstance(value, LinExpr) else LinExpr.constant(value)
+
+
+def _ceil(value: Fraction) -> int:
+    return -((-value.numerator) // value.denominator)
+
+
+def _floor(value: Fraction) -> int:
+    return value.numerator // value.denominator

@@ -1,0 +1,337 @@
+"""Symbolic cardinality of parametric sets (the barvinok substitute).
+
+``card`` computes ``|D|`` as a sympy expression in the program parameters by
+eliminating dimensions innermost-first and summing polynomials symbolically
+(Faulhaber's formulas, via :func:`sympy.summation`).
+
+The result is exact whenever every dimension has unit-coefficient lower and
+upper bounds — which is the case for every PolyBench iteration domain and for
+all the sets produced along the IOLB derivation — *and* the parameters are in
+the "large" regime where all loop ranges are non-empty (the same assumption
+the paper makes when reporting its formulas; the final bound is guarded by a
+``max(0, .)``).  Non-unit coefficients raise :class:`CountingError`, which the
+callers translate into a safely degraded (weaker) bound.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Sequence
+
+import sympy
+
+from .affine import LinExpr
+from .basic_set import EQ, GE, BasicSet, Constraint
+from .fourier_motzkin import is_rationally_empty
+from .pset import ParamSet
+
+MAX_SPLIT_DEPTH = 8
+MAX_UNION_PIECES_EXACT = 6
+
+
+class CountingError(Exception):
+    """Raised when the cardinality cannot be computed exactly."""
+
+
+@lru_cache(maxsize=None)
+def sym(name: str) -> sympy.Symbol:
+    """The sympy symbol used for a parameter or dimension name.
+
+    Symbols are integer but deliberately *not* marked positive: counting
+    bounds (and loop-parametrisation offsets) may be negative, and sympy's
+    concrete summation rejects inconsistent assumptions on its dummy index.
+    """
+    return sympy.Symbol(name, integer=True)
+
+
+def lin_to_sympy(expr: LinExpr) -> sympy.Expr:
+    """Convert a :class:`LinExpr` to sympy using the shared symbol table."""
+    result: sympy.Expr = sympy.Rational(expr.const.numerator, expr.const.denominator)
+    for name, coeff in expr.coeffs.items():
+        result += sympy.Rational(coeff.numerator, coeff.denominator) * sym(name)
+    return result
+
+
+def card(pset: ParamSet | BasicSet) -> sympy.Expr:
+    """Exact symbolic cardinality (large-parameter regime)."""
+    if isinstance(pset, BasicSet):
+        return card_basic(pset)
+    pieces = [p for p in pset.pieces if not p.has_trivially_false_constraint()]
+    if not pieces:
+        return sympy.Integer(0)
+    if len(pieces) == 1:
+        return card_basic(pieces[0])
+    if len(pieces) > MAX_UNION_PIECES_EXACT:
+        raise CountingError("too many pieces for exact inclusion-exclusion")
+    return _inclusion_exclusion(pieces)
+
+
+def card_upper(pset: ParamSet | BasicSet) -> sympy.Expr:
+    """Upper bound on the cardinality: the sum of the piece cardinalities.
+
+    Used for quantities (sources, In-sets, may-spill sets) where an
+    over-approximation keeps the derived lower bound valid.
+    """
+    if isinstance(pset, BasicSet):
+        return card_basic(pset)
+    total = sympy.Integer(0)
+    for piece in pset.pieces:
+        if piece.has_trivially_false_constraint():
+            continue
+        total += card_basic(piece)
+    return total
+
+
+def _inclusion_exclusion(pieces: Sequence[BasicSet]) -> sympy.Expr:
+    from itertools import combinations
+
+    total = sympy.Integer(0)
+    n = len(pieces)
+    for size in range(1, n + 1):
+        sign = (-1) ** (size + 1)
+        for subset in combinations(range(n), size):
+            current = pieces[subset[0]]
+            for index in subset[1:]:
+                current = current.intersect(pieces[index])
+            if current.has_trivially_false_constraint():
+                continue
+            variables = list(current.space.dims) + list(current.space.params)
+            if is_rationally_empty(current.constraints, variables):
+                continue
+            total += sign * card_basic(current)
+    return sympy.expand(total)
+
+
+def card_basic(basic: BasicSet) -> sympy.Expr:
+    """Exact symbolic cardinality of one basic set."""
+    if basic.has_trivially_false_constraint():
+        return sympy.Integer(0)
+    constraints, dims = _substitute_equalities(list(basic.constraints), list(basic.space.dims))
+    return sympy.expand(_count(constraints, dims, sympy.Integer(1), 0, ()))
+
+
+def card_at(pset: ParamSet | BasicSet, params: dict[str, int]) -> int:
+    """Concrete cardinality by enumeration (ground truth for tests)."""
+    if isinstance(pset, BasicSet):
+        return len(pset.enumerate_points(params))
+    return len(pset.enumerate_points(params))
+
+
+def _substitute_equalities(
+    constraints: list[Constraint], dims: list[str]
+) -> tuple[list[Constraint], list[str]]:
+    """Use unit-coefficient equalities to eliminate dimensions exactly."""
+    changed = True
+    while changed:
+        changed = False
+        for constraint in constraints:
+            if constraint.kind != EQ:
+                continue
+            target = None
+            for dim in dims:
+                if abs(constraint.expr.coeff(dim)) == 1:
+                    target = dim
+                    break
+            if target is None:
+                continue
+            coeff = constraint.expr.coeff(target)
+            rest = LinExpr(
+                {n: c for n, c in constraint.expr.coeffs.items() if n != target},
+                constraint.expr.const,
+            )
+            replacement = rest * Fraction(-1, coeff)
+            constraints = [
+                c.substitute({target: replacement})
+                for c in constraints
+                if c is not constraint
+            ]
+            dims = [d for d in dims if d != target]
+            changed = True
+            break
+    remaining_eqs = [c for c in constraints if c.kind == EQ and c.expr.depends_on(dims)]
+    if remaining_eqs:
+        raise CountingError("equality with non-unit coefficients on dimensions")
+    return constraints, dims
+
+
+def _count(
+    constraints: list[Constraint],
+    dims: list[str],
+    weight: sympy.Expr,
+    split_depth: int,
+    split_conditions: tuple[Constraint, ...],
+) -> sympy.Expr:
+    """Recursive counting kernel.
+
+    ``split_conditions`` holds the extra constraints introduced by case splits
+    (see :func:`_split_and_count`).  They participate in bound extraction like
+    ordinary constraints, but any of them left over at the leaf (i.e. a pure
+    parameter condition defining the branch) must decide whether this branch
+    contributes — otherwise overlapping branches would be double-counted.
+    """
+    if not dims:
+        if any(c.is_trivially_false() for c in list(constraints) + list(split_conditions)):
+            return sympy.Integer(0)
+        # Residual *split* conditions on parameters are resolved under the
+        # paper's asymptotic regime (all parameters large, growing together):
+        #   sum of coefficients > 0  -> eventually satisfied  -> keep
+        #   sum of coefficients < 0  -> eventually violated   -> contributes 0
+        #   sum of coefficients = 0  -> genuinely ambiguous    -> give up
+        for constraint in split_conditions:
+            if constraint.expr.is_constant():
+                continue
+            total = sum(constraint.expr.coeffs.values())
+            if total < 0:
+                return sympy.Integer(0)
+            if total == 0:
+                raise CountingError(
+                    f"cannot order parameters in split condition {constraint!r}"
+                )
+        return weight
+    dim = dims[-1]
+    lower_bounds: list[LinExpr] = []
+    upper_bounds: list[LinExpr] = []
+    remaining: list[Constraint] = []
+    remaining_splits: list[Constraint] = []
+    for constraint, is_split in (
+        [(c, False) for c in constraints] + [(c, True) for c in split_conditions]
+    ):
+        coeff = constraint.expr.coeff(dim)
+        if coeff == 0:
+            if is_split:
+                remaining_splits.append(constraint)
+            else:
+                remaining.append(constraint)
+            continue
+        if constraint.kind == EQ:
+            raise CountingError("unexpected equality during bound extraction")
+        if abs(coeff) != 1:
+            raise CountingError(f"non-unit coefficient {coeff} on dimension {dim}")
+        rest = LinExpr(
+            {n: c for n, c in constraint.expr.coeffs.items() if n != dim},
+            constraint.expr.const,
+        )
+        if coeff > 0:
+            # dim + rest >= 0  =>  dim >= -rest
+            lower_bounds.append(-rest)
+        else:
+            # -dim + rest >= 0  =>  dim <= rest
+            upper_bounds.append(rest)
+    if not lower_bounds or not upper_bounds:
+        raise CountingError(f"dimension {dim} is unbounded")
+
+    context = list(constraints) + list(split_conditions)
+    lower = _dominant_bound(lower_bounds, context, want_max=True)
+    upper = _dominant_bound(upper_bounds, context, want_max=False)
+    if lower is None or upper is None:
+        ambiguous = lower_bounds if lower is None else upper_bounds
+        pair = _find_incomparable_pair(ambiguous, context)
+        if pair is None:
+            raise CountingError("no dominant bound but no incomparable pair found")
+        return _split_and_count(
+            constraints, dims, weight, split_depth, split_conditions, pair
+        )
+
+    x = sym(dim)
+    length_sum = sympy.summation(weight, (x, lin_to_sympy(lower), lin_to_sympy(upper)))
+    return _count(
+        remaining, dims[:-1], sympy.expand(length_sum), split_depth, tuple(remaining_splits)
+    )
+
+
+def _dominant_bound(
+    bounds: list[LinExpr], constraints: list[Constraint], want_max: bool
+) -> LinExpr | None:
+    """Pick the bound that dominates all others over the set, if one exists."""
+    bounds = _drop_constant_shifted_duplicates(bounds, want_max)
+    if len(bounds) == 1:
+        return bounds[0]
+    names = sorted({n for c in constraints for n in c.expr.names()}
+                   | {n for b in bounds for n in b.names()})
+    for candidate in bounds:
+        dominant = True
+        for other in bounds:
+            if other is candidate:
+                continue
+            # candidate dominates other iff no point of the set violates it:
+            # for a max (lower bound) we need candidate >= other everywhere,
+            # i.e. the region candidate <= other - 1 must be empty.
+            if want_max:
+                violation = Constraint(other - candidate - 1, GE)
+            else:
+                violation = Constraint(candidate - other - 1, GE)
+            if not is_rationally_empty(list(constraints) + [violation], names):
+                dominant = False
+                break
+        if dominant:
+            return candidate
+    return None
+
+
+def _drop_constant_shifted_duplicates(bounds: list[LinExpr], want_max: bool) -> list[LinExpr]:
+    """Remove bounds dominated by another bound that differs only by a constant.
+
+    Two bounds with identical coefficients compare unconditionally, so keeping
+    only the larger (for a max of lower bounds) or the smaller (for a min of
+    upper bounds) is exact and avoids needless case splits.
+    """
+    kept: list[LinExpr] = []
+    for bound in bounds:
+        replaced = False
+        for index, existing in enumerate(kept):
+            if existing.coeffs == bound.coeffs:
+                if (want_max and bound.const > existing.const) or (
+                    not want_max and bound.const < existing.const
+                ):
+                    kept[index] = bound
+                replaced = True
+                break
+        if not replaced:
+            kept.append(bound)
+    return kept
+
+
+def _find_incomparable_pair(
+    bounds: list[LinExpr], context: list[Constraint]
+) -> tuple[LinExpr, LinExpr] | None:
+    """Find two bounds whose order genuinely varies over the set."""
+    names = sorted({n for c in context for n in c.expr.names()}
+                   | {n for b in bounds for n in b.names()})
+    for i in range(len(bounds)):
+        for j in range(i + 1, len(bounds)):
+            first, second = bounds[i], bounds[j]
+            first_can_be_smaller = not is_rationally_empty(
+                context + [Constraint(second - first - 1, GE)], names
+            )
+            first_can_be_larger = not is_rationally_empty(
+                context + [Constraint(first - second - 1, GE)], names
+            )
+            if first_can_be_smaller and first_can_be_larger:
+                return first, second
+    return None
+
+
+def _split_and_count(
+    constraints: list[Constraint],
+    dims: list[str],
+    weight: sympy.Expr,
+    split_depth: int,
+    split_conditions: tuple[Constraint, ...],
+    pair: tuple[LinExpr, LinExpr],
+) -> sympy.Expr:
+    """Case-split on the order of two incomparable bounds and recurse.
+
+    The two branch conditions are carried as *split conditions* so that any
+    residue of them surviving down to the leaf (a pure parameter condition)
+    can decide whether the branch contributes at all.
+    """
+    if split_depth >= MAX_SPLIT_DEPTH:
+        raise CountingError("too many case splits during counting")
+    first, second = pair
+    case_ge = split_conditions + (Constraint(first - second, GE),)
+    case_lt = split_conditions + (Constraint(second - first - 1, GE),)
+    return sympy.expand(
+        _count(constraints, dims, weight, split_depth + 1, case_ge)
+        + _count(constraints, dims, weight, split_depth + 1, case_lt)
+    )

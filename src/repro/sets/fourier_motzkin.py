@@ -1,0 +1,136 @@
+"""Fourier-Motzkin elimination and rational emptiness testing.
+
+These are the work-horses behind projection, image computation and the
+independence / interference tests of the IOLB algorithms.  All uses in
+:mod:`repro.core` rely only on the *sound* direction of rational reasoning:
+
+* a set that is rationally empty has no integer point (used to certify
+  path independence and decomposition non-interference);
+* the rational projection over-approximates the integer projection (used for
+  In-sets, sources and may-spill sets, all of which may safely be
+  over-approximated — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .affine import LinExpr
+from .basic_set import EQ, GE, BasicSet, Constraint
+
+MAX_CONSTRAINTS = 2000
+
+
+class EliminationError(Exception):
+    """Raised when elimination blows up beyond the configured limits."""
+
+
+def eliminate_variable(constraints: Sequence[Constraint], name: str) -> list[Constraint]:
+    """Eliminate one variable from a conjunction of constraints.
+
+    Prefers substitution through an equality with a +-1 coefficient (exact on
+    integers); otherwise falls back to classic Fourier-Motzkin combination
+    (exact on rationals, over-approximate on integers).
+    """
+    constraints = [c.normalized() for c in constraints]
+
+    # 1. Try an exact substitution via an equality with unit coefficient.
+    for constraint in constraints:
+        if constraint.kind != EQ:
+            continue
+        coeff = constraint.expr.coeff(name)
+        if abs(coeff) == 1:
+            # name = -(rest)/coeff
+            rest = LinExpr(
+                {n: c for n, c in constraint.expr.coeffs.items() if n != name},
+                constraint.expr.const,
+            )
+            replacement = rest * Fraction(-1, coeff)
+            remaining = [c for c in constraints if c is not constraint]
+            return [c.substitute({name: replacement}) for c in remaining]
+
+    lower: list[tuple[Fraction, LinExpr]] = []   # coeff > 0:  coeff*x >= -rest
+    upper: list[tuple[Fraction, LinExpr]] = []   # coeff < 0:  |coeff|*x <= rest
+    others: list[Constraint] = []
+    for constraint in constraints:
+        coeff = constraint.expr.coeff(name)
+        if coeff == 0:
+            others.append(constraint)
+            continue
+        rest = LinExpr(
+            {n: c for n, c in constraint.expr.coeffs.items() if n != name},
+            constraint.expr.const,
+        )
+        if constraint.kind == EQ:
+            # Split the (non-unit) equality into two opposite inequalities.
+            pairs = [(coeff, rest), (-coeff, -rest)]
+        else:
+            pairs = [(coeff, rest)]
+        for pair_coeff, pair_rest in pairs:
+            if pair_coeff > 0:
+                lower.append((pair_coeff, pair_rest))
+            else:
+                upper.append((pair_coeff, pair_rest))
+
+    result = list(others)
+    for lo_coeff, lo_rest in lower:
+        for up_coeff, up_rest in upper:
+            # lo: a*x + r1 >= 0 (a>0)  =>  x >= -r1/a
+            # up: b*x + r2 >= 0 (b<0)  =>  x <= -r2/b = r2/|b|
+            # combination: -r1/a <= r2/|b|  =>  |b|*r1 + a*r2 >= 0 ... careful with signs
+            combined = lo_rest * (-up_coeff) + up_rest * lo_coeff
+            result.append(Constraint(combined, GE))
+            if len(result) > MAX_CONSTRAINTS:
+                raise EliminationError("Fourier-Motzkin blow-up")
+    return [c.normalized() for c in result if not c.is_trivially_true()]
+
+
+def eliminate_variables(constraints: Sequence[Constraint], names: Iterable[str]) -> list[Constraint]:
+    """Eliminate several variables, one at a time."""
+    current = list(constraints)
+    for name in names:
+        current = eliminate_variable(current, name)
+        if any(c.is_trivially_false() for c in current):
+            return [Constraint(LinExpr.constant(-1), GE)]
+    return current
+
+
+def project_out(basic_set: BasicSet, dim_names: Sequence[str]) -> BasicSet:
+    """Project a basic set onto the dimensions not in ``dim_names``.
+
+    The result is the rational projection restricted to integer points — an
+    over-approximation of the exact integer projection.
+    """
+    remaining = tuple(d for d in basic_set.space.dims if d not in dim_names)
+    constraints = eliminate_variables(basic_set.constraints, dim_names)
+    from .space import Space
+
+    space = Space(basic_set.space.tuple_name, remaining, basic_set.space.params)
+    return BasicSet(space, constraints)
+
+
+def is_rationally_empty(constraints: Sequence[Constraint], variables: Sequence[str]) -> bool:
+    """True when the conjunction has no rational solution in the given variables.
+
+    The variables include both set dimensions and parameters: emptiness here
+    means "empty for every parameter value", which is the sound direction for
+    all independence tests in the lower-bound derivation.
+    """
+    try:
+        remaining = eliminate_variables(constraints, variables)
+    except EliminationError:
+        return False  # unknown -> conservatively "may be non-empty"
+    return any(c.is_trivially_false() for c in remaining)
+
+
+def basic_set_is_empty(basic_set: BasicSet, context: Sequence[Constraint] = ()) -> bool:
+    """Rational emptiness of a basic set, treating parameters existentially.
+
+    ``context`` may supply extra assumptions on parameters (e.g. ``N >= 1``).
+    Returns True only when the set is certainly empty.
+    """
+    constraints = list(basic_set.constraints) + list(context)
+    names = list(basic_set.space.dims) + list(basic_set.space.params)
+    extra = sorted({n for c in context for n in c.expr.names() if n not in names})
+    return is_rationally_empty(constraints, names + extra)

@@ -1,0 +1,70 @@
+"""Shared example programs for the core-algorithm tests.
+
+These are the worked examples of the paper: Fig. 1 (elementary example),
+Fig. 3 (Example 2, the wavefront example), gemm (Sec. 1/9), cholesky
+(Appendix A) and LU (Appendix B).
+"""
+
+import pytest
+
+from repro.ir import ProgramBuilder
+
+
+@pytest.fixture(scope="session")
+def example1():
+    """Fig. 1: for t, i: A[i] = A[i] * C[t]."""
+    return (
+        ProgramBuilder("example1", ["M", "N"])
+        .add_array("[N] -> { A[i] : 0 <= i < N }")
+        .add_array("[M] -> { C[t] : 0 <= t < M }")
+        .add_statement("[M, N] -> { S[t, i] : 0 <= t < M and 0 <= i < N }", flops=1)
+        .add_dependence("[M, N] -> { S[t, i] -> S[t - 1, i] : 1 <= t < M and 0 <= i < N }")
+        .add_dependence("[M, N] -> { S[t, i] -> C[t] : 0 <= t < M and 0 <= i < N }")
+        .add_dependence("[M, N] -> { S[t, i] -> A[i] : t = 0 and 0 <= i < N }")
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def example2():
+    """Fig. 3: per outer iteration, a reduction into a scalar then a broadcast."""
+    return (
+        ProgramBuilder("example2", ["M", "N"])
+        .add_array("[N] -> { A[i] : 0 <= i < N }")
+        .add_statement("[M, N] -> { S1[t, i] : 0 <= t < M and 0 <= i < N }", flops=1)
+        .add_statement("[M, N] -> { S2[t, i] : 0 <= t < M and 0 <= i < N }", flops=1)
+        .add_dependence("[M, N] -> { S1[t, i] -> S1[t, i - 1] : 0 <= t < M and 1 <= i < N }")
+        .add_dependence("[M, N] -> { S1[t, i] -> S2[t - 1, i] : 1 <= t < M and 0 <= i < N }")
+        .add_dependence("[M, N] -> { S1[t, i] -> A[i] : t = 0 and 0 <= i < N }")
+        .add_dependence("[M, N] -> { S2[t, i] -> S1[t, N - 1] : 0 <= t < M and 0 <= i < N }")
+        .add_dependence("[M, N] -> { S2[t, i] -> S2[t - 1, i] : 1 <= t < M and 0 <= i < N }")
+        .add_dependence("[M, N] -> { S2[t, i] -> A[i] : t = 0 and 0 <= i < N }")
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def gemm():
+    return (
+        ProgramBuilder("gemm", ["Ni", "Nj", "Nk"])
+        .add_array("[Ni, Nk] -> { A[i, k] : 0 <= i < Ni and 0 <= k < Nk }")
+        .add_array("[Nk, Nj] -> { B[k, j] : 0 <= k < Nk and 0 <= j < Nj }")
+        .add_array("[Ni, Nj] -> { C[i, j] : 0 <= i < Ni and 0 <= j < Nj }")
+        .add_statement(
+            "[Ni, Nj, Nk] -> { S[i, j, k] : 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk }",
+            flops=2,
+        )
+        .add_dependence(
+            "[Ni, Nj, Nk] -> { S[i, j, k] -> S[i, j, k - 1] : 0 <= i < Ni and 0 <= j < Nj and 1 <= k < Nk }"
+        )
+        .add_dependence(
+            "[Ni, Nj, Nk] -> { S[i, j, k] -> A[i, k] : 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk }"
+        )
+        .add_dependence(
+            "[Ni, Nj, Nk] -> { S[i, j, k] -> B[k, j] : 0 <= i < Ni and 0 <= j < Nj and 0 <= k < Nk }"
+        )
+        .add_dependence(
+            "[Ni, Nj, Nk] -> { S[i, j, k] -> C[i, j] : 0 <= i < Ni and 0 <= j < Nj and k = 0 }"
+        )
+        .build()
+    )

@@ -1,0 +1,101 @@
+"""Tests for the Brascamp-Lieb exponent machinery (Sec. 3.3, 5.3)."""
+
+from fractions import Fraction
+
+from repro.linalg import Subspace, build_lattice
+from repro.core import rank_constraints, solve_exponents
+
+
+def span(*vectors):
+    return Subspace.span(list(vectors))
+
+
+def orthogonal_kernels(dim):
+    """Kernels of the canonical projections along each basis vector."""
+    kernels = []
+    for i in range(dim):
+        vec = [0] * dim
+        vec[i] = 1
+        kernels.append(span(tuple(vec)))
+    return kernels
+
+
+class TestRankConstraints:
+    def test_orthogonal_2d(self):
+        kernels = orthogonal_kernels(2)
+        lattice, _ = build_lattice(2, kernels)
+        constraints = rank_constraints(kernels, lattice)
+        # For H = each kernel line: 1 <= s_other; for H = the plane: 2 <= s1 + s2.
+        rhs_values = sorted(rhs for _, rhs in constraints)
+        assert rhs_values == [1, 1, 2]
+
+    def test_projection_rank_in_constraints(self):
+        kernels = orthogonal_kernels(3)
+        lattice, _ = build_lattice(3, kernels)
+        for coeffs, rhs in rank_constraints(kernels, lattice):
+            assert all(0 <= c <= rhs for c in coeffs)
+
+
+class TestSolveExponents:
+    def test_2d_orthogonal_projections(self):
+        """The paper's Sec. 3.3 special case: s_1 = ... = s_d = 1/(d-1)."""
+        kernels = orthogonal_kernels(2)
+        lattice, _ = build_lattice(2, kernels)
+        solution = solve_exponents(kernels, lattice)
+        assert solution is not None
+        assert solution.exponents == [Fraction(1), Fraction(1)]
+        assert solution.sigma == 2
+
+    def test_3d_orthogonal_projections_gemm(self):
+        """gemm / matrix multiplication: s_j = 1/2, sigma = 3/2."""
+        kernels = orthogonal_kernels(3)
+        lattice, _ = build_lattice(3, kernels)
+        solution = solve_exponents(kernels, lattice)
+        assert solution is not None
+        assert solution.sigma == Fraction(3, 2)
+        assert all(s == Fraction(1, 2) for s in solution.exponents)
+
+    def test_cholesky_betas_keep_exponents_half(self):
+        """Appendix A: beta = (1, 1/2, 1/2) still gives s = (1/2, 1/2, 1/2)."""
+        kernels = orthogonal_kernels(3)
+        lattice, _ = build_lattice(3, kernels)
+        betas = [Fraction(1), Fraction(1, 2), Fraction(1, 2)]
+        solution = solve_exponents(kernels, lattice, betas)
+        assert solution is not None
+        assert solution.sigma == Fraction(3, 2)
+
+    def test_stencil_kernels_jacobi_1d(self):
+        """Three 1D kernels in 2D (jacobi-1d): sigma = 2 is optimal."""
+        kernels = [span((1, -1)), span((1, 0)), span((1, 1))]
+        lattice, _ = build_lattice(2, kernels)
+        solution = solve_exponents(kernels, lattice)
+        assert solution is not None
+        assert solution.sigma == 2
+
+    def test_4d_stencil_kernels_heat_3d(self):
+        """Line kernels in 4D: sigma = 4/3 (cube-root-of-S behaviour)."""
+        kernels = [span((1, 0, 0, 0)), span((0, 1, 0, 0)), span((0, 0, 1, 0)), span((0, 0, 0, 1))]
+        lattice, _ = build_lattice(4, kernels)
+        solution = solve_exponents(kernels, lattice)
+        assert solution is not None
+        assert solution.sigma == Fraction(4, 3)
+
+    def test_single_projection_is_infeasible(self):
+        """A single projection cannot bound the set (its kernel is unbounded)."""
+        kernels = [span((1, 0))]
+        lattice, _ = build_lattice(2, kernels)
+        solution = solve_exponents(kernels, lattice)
+        assert solution is None
+
+    def test_constraints_are_satisfied_exactly(self):
+        kernels = [span((1, 0, 0)), span((0, 1, 0)), span((1, 1, 1))]
+        lattice, _ = build_lattice(3, kernels)
+        solution = solve_exponents(kernels, lattice)
+        assert solution is not None
+        for coeffs, rhs in rank_constraints(kernels, lattice):
+            total = sum(Fraction(c) * s for c, s in zip(coeffs, solution.exponents))
+            assert total >= rhs - Fraction(1, 10**6)
+
+    def test_empty_kernel_list(self):
+        lattice, _ = build_lattice(2, [])
+        assert solve_exponents([], lattice) is None

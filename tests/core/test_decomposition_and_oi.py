@@ -1,0 +1,106 @@
+"""Unit tests for decomposition/combination, bound expressions and OI analysis."""
+
+import sympy
+
+from repro.core import (
+    Classification,
+    asymptotic_leading,
+    classify,
+    combine_sub_q,
+    evaluate,
+    may_spill_interferes,
+    remove_may_spill,
+)
+from repro.core.bounds import S_SYMBOL, SubBound
+from repro.sets import parse_set, sym
+
+
+def make_bound(expr, statement, domain_text):
+    domain = parse_set(domain_text)
+    return SubBound(
+        expression=expr, smooth=expr, may_spill={statement: domain}, statement=statement
+    )
+
+
+class TestMaySpillInterference:
+    def test_disjoint_statements_do_not_interfere(self):
+        a = make_bound(sym("N"), "S1", "[N] -> { S1[i] : 0 <= i < N }")
+        b = make_bound(sym("N"), "S2", "[N] -> { S2[i] : 0 <= i < N }")
+        assert not may_spill_interferes(a.may_spill, b.may_spill)
+
+    def test_overlapping_domains_interfere(self):
+        a = make_bound(sym("N"), "S", "[N] -> { S[i] : 0 <= i < N }")
+        b = make_bound(sym("N"), "S", "[N] -> { S[i] : 5 <= i < N }")
+        assert may_spill_interferes(a.may_spill, b.may_spill)
+
+    def test_disjoint_regions_of_same_statement(self):
+        a = make_bound(sym("N"), "S", "[N] -> { S[i] : 0 <= i < 5 }")
+        b = make_bound(sym("N"), "S", "[N] -> { S[i] : 10 <= i < N }")
+        assert not may_spill_interferes(a.may_spill, b.may_spill)
+
+
+class TestCombineSubQ:
+    def test_non_interfering_bounds_are_summed(self):
+        a = make_bound(sym("N") ** 2, "S1", "[N] -> { S1[i] : 0 <= i < N }")
+        b = make_bound(sym("N"), "S2", "[N] -> { S2[i] : 0 <= i < N }")
+        total, accepted = combine_sub_q([a, b], {"N": 100, "S": 10})
+        assert len(accepted) == 2
+        assert sympy.expand(total - (sym("N") ** 2 + sym("N"))) == 0
+
+    def test_interfering_bounds_keep_the_largest(self):
+        a = make_bound(sym("N") ** 2, "S", "[N] -> { S[i] : 0 <= i < N }")
+        b = make_bound(sym("N"), "S", "[N] -> { S[i] : 0 <= i < N }")
+        total, accepted = combine_sub_q([a, b], {"N": 100, "S": 10})
+        assert len(accepted) == 1
+        assert total == sym("N") ** 2
+
+    def test_negative_bounds_are_dropped(self):
+        a = make_bound(-sym("N"), "S", "[N] -> { S[i] : 0 <= i < N }")
+        total, accepted = combine_sub_q([a], {"N": 100, "S": 10})
+        assert accepted == []
+        assert total == 0
+
+    def test_remove_may_spill_shrinks_domains(self):
+        domains = {"S": parse_set("[N] -> { S[i] : 0 <= i < N }")}
+        spill = {"S": parse_set("[N] -> { S[i] : 0 <= i < 10 }")}
+        updated = remove_may_spill(domains, spill)
+        points = updated["S"].enumerate_points({"N": 15})
+        assert sorted(p[0] for p in points) == list(range(10, 15))
+
+
+class TestAsymptoticLeading:
+    def test_dominant_term_extraction(self):
+        n = sym("N")
+        expr = n ** 3 / sympy.sqrt(S_SYMBOL) + n ** 2 + 7 * n - S_SYMBOL
+        assert asymptotic_leading(expr, {"N"}) == n ** 3 / sympy.sqrt(S_SYMBOL)
+
+    def test_cache_terms_rank_below_parameters(self):
+        n = sym("N")
+        expr = n + S_SYMBOL ** 2
+        # S = o(N) would make N dominant only if degrees say so: S^2 ~ t^4 = N.
+        leading = asymptotic_leading(expr, {"N"})
+        assert leading in (n, n + S_SYMBOL ** 2, S_SYMBOL ** 2)
+
+    def test_floor_and_max_are_smoothed(self):
+        n = sym("N")
+        expr = sympy.Max(sympy.floor(n ** 2 / S_SYMBOL) * S_SYMBOL, n)
+        assert asymptotic_leading(expr, {"N"}) == n ** 2
+
+    def test_evaluate(self):
+        n = sym("N")
+        assert evaluate(n ** 2 / S_SYMBOL, {"N": 10, "S": 4}) == 25.0
+
+
+class TestClassification:
+    def test_compute_bound_when_achieved_oi_above_mb(self):
+        assert classify(100.0, 20.0, 8.0) is Classification.COMPUTE_BOUND
+
+    def test_bandwidth_bound_when_upper_bound_below_mb(self):
+        assert classify(4.0, 2.0, 8.0) is Classification.BANDWIDTH_BOUND
+
+    def test_undecided_when_mb_between(self):
+        assert classify(100.0, 3.0, 8.0) is Classification.UNDECIDED
+
+    def test_no_achieved_oi(self):
+        assert classify(100.0, None, 8.0) is Classification.UNDECIDED
+        assert classify(2.0, None, 8.0) is Classification.BANDWIDTH_BOUND

@@ -1,0 +1,113 @@
+"""Unit tests for exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    identity,
+    mat_mul,
+    mat_vec,
+    nullspace,
+    rank,
+    row_space_basis,
+    rref,
+    solve,
+    to_fraction_matrix,
+    transpose,
+    zeros,
+)
+
+
+class TestMatrixBasics:
+    def test_to_fraction_matrix_normalises_entries(self):
+        m = to_fraction_matrix([[1, 2], [3, 4]])
+        assert m[0][0] == Fraction(1)
+        assert isinstance(m[1][1], Fraction)
+
+    def test_to_fraction_matrix_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            to_fraction_matrix([[1, 2], [3]])
+
+    def test_identity_and_zeros_shapes(self):
+        assert identity(3)[1][1] == 1
+        assert identity(3)[0][1] == 0
+        assert zeros(2, 3) == ((0, 0, 0), (0, 0, 0))
+
+    def test_mat_mul_matches_known_product(self):
+        a = to_fraction_matrix([[1, 2], [3, 4]])
+        b = to_fraction_matrix([[5, 6], [7, 8]])
+        assert mat_mul(a, b) == to_fraction_matrix([[19, 22], [43, 50]])
+
+    def test_mat_mul_dimension_mismatch(self):
+        a = to_fraction_matrix([[1, 2]])
+        b = to_fraction_matrix([[1, 2]])
+        with pytest.raises(ValueError):
+            mat_mul(a, b)
+
+    def test_mat_vec(self):
+        a = to_fraction_matrix([[1, 0, 2], [0, 1, -1]])
+        assert mat_vec(a, [1, 2, 3]) == (Fraction(7), Fraction(-1))
+
+    def test_transpose_involution(self):
+        a = to_fraction_matrix([[1, 2, 3], [4, 5, 6]])
+        assert transpose(transpose(a)) == a
+
+
+class TestRrefRankNullspace:
+    def test_rref_identity_is_fixed_point(self):
+        reduced, pivots = rref(identity(3))
+        assert reduced == identity(3)
+        assert pivots == [0, 1, 2]
+
+    def test_rank_of_singular_matrix(self):
+        a = to_fraction_matrix([[1, 2], [2, 4]])
+        assert rank(a) == 1
+
+    def test_rank_of_full_rank_matrix(self):
+        a = to_fraction_matrix([[1, 2], [3, 4]])
+        assert rank(a) == 2
+
+    def test_nullspace_of_projection(self):
+        # Projection that drops the last coordinate: kernel is span(e3).
+        a = to_fraction_matrix([[1, 0, 0], [0, 1, 0]])
+        basis = nullspace(a)
+        assert len(basis) == 1
+        assert basis[0] == (0, 0, 1)
+
+    def test_nullspace_vectors_are_in_kernel(self):
+        a = to_fraction_matrix([[1, 2, 3], [4, 5, 6]])
+        for vec in nullspace(a):
+            assert mat_vec(a, vec) == (Fraction(0), Fraction(0))
+
+    def test_row_space_basis_size_matches_rank(self):
+        a = to_fraction_matrix([[1, 2, 3], [2, 4, 6], [0, 1, 1]])
+        assert len(row_space_basis(a)) == rank(a) == 2
+
+    def test_solve_consistent_system(self):
+        a = to_fraction_matrix([[2, 0], [0, 3]])
+        assert solve(a, [4, 9]) == (Fraction(2), Fraction(3))
+
+    def test_solve_inconsistent_system(self):
+        a = to_fraction_matrix([[1, 1], [1, 1]])
+        assert solve(a, [1, 2]) is None
+
+    def test_rank_nullity_theorem(self):
+        a = to_fraction_matrix([[1, 2, 3, 4], [2, 4, 6, 8], [1, 0, 1, 0]])
+        assert rank(a) + len(nullspace(a)) == 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.lists(st.integers(-5, 5), min_size=3, max_size=3), min_size=2, max_size=4))
+def test_rank_bounded_by_dimensions(rows):
+    matrix = to_fraction_matrix(rows)
+    assert 0 <= rank(matrix) <= min(len(rows), 3)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.lists(st.integers(-5, 5), min_size=3, max_size=3), min_size=2, max_size=4))
+def test_nullspace_rank_nullity(rows):
+    matrix = to_fraction_matrix(rows)
+    assert rank(matrix) + len(nullspace(matrix)) == 3

