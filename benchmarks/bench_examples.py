@@ -10,7 +10,8 @@ from __future__ import annotations
 import pytest
 import sympy
 
-from repro.core import derive_bounds, genpaths
+from repro.analysis import AnalysisConfig, Analyzer
+from repro.core import genpaths
 from repro.core.bounds import S_SYMBOL
 from repro.ir import DFG, ProgramBuilder
 from repro.polybench import get_kernel
@@ -34,7 +35,7 @@ def _example1():
 def test_example1_full_derivation(benchmark):
     """Fig. 1 / Sec. 5.3: the derived bound must be ~ M*N/S."""
     program = _example1()
-    result = benchmark(derive_bounds, program, max_depth=0)
+    result = benchmark(Analyzer(AnalysisConfig(max_depth=0)).analyze, program)
     expected = sym("M") * sym("N") / S_SYMBOL
     assert sympy.simplify(result.asymptotic / expected) == 1
 
@@ -43,7 +44,7 @@ def test_example1_full_derivation(benchmark):
 def test_appendix_a_cholesky(benchmark):
     """Appendix A: cholesky bound ~ N^3 / (6 sqrt(S)), OI_up = 2 sqrt(S)."""
     spec = get_kernel("cholesky")
-    result = benchmark(derive_bounds, spec.program, max_depth=0)
+    result = benchmark(Analyzer(AnalysisConfig(max_depth=0)).analyze, spec.program)
     expected = sym("N") ** 3 / (6 * sympy.sqrt(S_SYMBOL))
     assert sympy.simplify(result.asymptotic / expected) == 1
 
@@ -52,7 +53,7 @@ def test_appendix_a_cholesky(benchmark):
 def test_appendix_b_lu(benchmark):
     """Appendix B: LU bound ~ 2 N^3 / (3 sqrt(S))."""
     spec = get_kernel("lu")
-    result = benchmark(derive_bounds, spec.program, max_depth=0)
+    result = benchmark(Analyzer(AnalysisConfig(max_depth=0)).analyze, spec.program)
     expected = 2 * sym("N") ** 3 / (3 * sympy.sqrt(S_SYMBOL))
     assert sympy.simplify(result.asymptotic / expected) == 1
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import PAPER_MACHINE_BALANCE
-from repro.polybench import analyze_kernel, figure6_rows, get_kernel, simulate_tiled_oi, untiled_oi
+from repro.polybench import analyze_suite, figure6_rows, get_kernel, simulate_tiled_oi, untiled_oi
 
 from conftest import write_markdown_table
 
@@ -45,7 +45,7 @@ def test_figure6_classification(benchmark):
     """Regenerate the Figure 6 classification table."""
 
     def build_rows():
-        analyses = [analyze_kernel(name) for name in FIGURE6_KERNELS]
+        analyses = analyze_suite(FIGURE6_KERNELS)
         return figure6_rows(
             analyses,
             simulate=True,

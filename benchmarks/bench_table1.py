@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.polybench import analyze_kernel, table1_rows
+from repro.polybench import analyze_kernel, analyze_suite, table1_rows
 
 from conftest import write_markdown_table
 
@@ -32,8 +32,7 @@ def test_table1_full_table(benchmark, fast_kernel_names):
     """Regenerate the full Table 1 for the fast subset of kernels."""
 
     def build_table():
-        analyses = [analyze_kernel(name) for name in fast_kernel_names]
-        return table1_rows(analyses)
+        return table1_rows(analyze_suite(fast_kernel_names))
 
     rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
     path = write_markdown_table("table1", rows)

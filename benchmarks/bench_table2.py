@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.polybench import analyze_kernel, table2_rows
+from repro.polybench import analyze_kernel, analyze_suite, table2_rows
 
 from conftest import write_markdown_table
 
@@ -24,8 +24,7 @@ def test_table2_formulae(benchmark):
     """Regenerate the complete + asymptotic formulae for a kernel subset."""
 
     def build_table():
-        analyses = [analyze_kernel(name) for name in KERNELS]
-        return table2_rows(analyses)
+        return table2_rows(analyze_suite(KERNELS))
 
     rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
     path = write_markdown_table("table2", rows)

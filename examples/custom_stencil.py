@@ -6,7 +6,8 @@ stencil; the point is to show how to describe *your own* affine code and get
 an OI upper bound out of it, including the wavefront analysis knob.
 """
 
-from repro import ProgramBuilder, derive_bounds
+from repro import ProgramBuilder
+from repro.analysis import AnalysisConfig, Analyzer
 from repro.core import PAPER_MACHINE_BALANCE, classify
 
 
@@ -26,7 +27,7 @@ def build_kernel():
 
 def main():
     program = build_kernel()
-    result = derive_bounds(program, max_depth=1)
+    result = Analyzer(AnalysisConfig(max_depth=1)).analyze(program)
 
     print("Q_low (complete) :", result.expression)
     print("Q_low (leading)  :", result.asymptotic)

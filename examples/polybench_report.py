@@ -7,16 +7,18 @@ machine balance the way Figure 6 does.
 
 Usage::
 
-    python examples/polybench_report.py [kernel ...]
+    python examples/polybench_report.py [--jobs N] [kernel ...]
 
 Without arguments a representative subset covering all four categories of
-Table 1 is analysed (running all 30 kernels takes a few minutes).
+Table 1 is analysed (running all 30 kernels takes a few minutes);
+``--jobs N`` fans the derivations out over N worker processes through
+``repro.analysis.Analyzer``.
 """
 
-import sys
+import argparse
 
 from repro.core import PAPER_CACHE_WORDS, PAPER_MACHINE_BALANCE, classify
-from repro.polybench import analyze_kernel, kernel_names
+from repro.polybench import analyze_suite, kernel_names
 
 DEFAULT_SELECTION = [
     "gemm",            # category 1: tileable, OI_up = sqrt(S)
@@ -31,13 +33,13 @@ DEFAULT_SELECTION = [
 ]
 
 
-def main(names):
+def main(names, jobs=1):
     print(f"{'kernel':<16} {'OI_up (repro)':<28} {'OI_up (paper)':<18} "
           f"{'OI_manual':<14} {'class @ MB=8'}")
     print("-" * 96)
-    for name in names:
-        analysis = analyze_kernel(name)
+    for analysis in analyze_suite(names, n_jobs=jobs):
         spec = analysis.spec
+        name = spec.name
         instance = dict(spec.large_instance)
         instance["S"] = PAPER_CACHE_WORDS
         oi_numeric = analysis.result.evaluate_oi_upper(instance)
@@ -49,8 +51,12 @@ def main(names):
 
 
 if __name__ == "__main__":
-    selected = sys.argv[1:] or DEFAULT_SELECTION
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("kernels", nargs="*", default=None)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    args = parser.parse_args()
+    selected = args.kernels or DEFAULT_SELECTION
     unknown = [n for n in selected if n not in kernel_names()]
     if unknown:
         raise SystemExit(f"unknown kernels: {unknown}; available: {kernel_names()}")
-    main(selected)
+    main(selected, jobs=args.jobs)

@@ -7,7 +7,8 @@ move at least ~ 2*Ni*Nj*Nk / sqrt(S) words, i.e. its operational intensity is
 at most sqrt(S).
 """
 
-from repro import ProgramBuilder, derive_bounds
+from repro import ProgramBuilder
+from repro.analysis import AnalysisConfig, Analyzer
 
 
 def build_gemm():
@@ -43,7 +44,7 @@ def build_gemm():
 
 def main():
     program = build_gemm()
-    result = derive_bounds(program, max_depth=0)
+    result = Analyzer(AnalysisConfig(max_depth=0)).analyze(program)
 
     print("kernel          :", result.program_name)
     print("input size      :", result.input_size)

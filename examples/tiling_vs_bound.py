@@ -11,7 +11,7 @@ This is a miniature version of the paper's Sec. 8.2 experiment: for gemm we
    much closer to the bound — the gap the paper's tool is designed to expose.
 """
 
-from repro.core import derive_bounds
+from repro.analysis import AnalysisConfig, Analyzer
 from repro.ir import CDAG
 from repro.pebble import lexicographic_schedule, simulate_schedule, tiled_schedule
 from repro.polybench import get_kernel
@@ -19,7 +19,7 @@ from repro.polybench import get_kernel
 
 def main():
     spec = get_kernel("gemm")
-    result = derive_bounds(spec.program, max_depth=0)
+    result = Analyzer(AnalysisConfig(max_depth=0)).analyze(spec.program)
     print("parametric lower bound:", result.asymptotic)
 
     instance = {"Ni": 16, "Nj": 16, "Nk": 16}

@@ -7,21 +7,28 @@ intensity (OI).
 Typical usage::
 
     from repro import polybench
-    from repro.core import derive_bounds
+    from repro.analysis import AnalysisConfig, Analyzer
 
     spec = polybench.get_kernel("gemm")
-    result = derive_bounds(spec.program)
+    result = Analyzer(AnalysisConfig()).analyze(spec.program)
     print(result.asymptotic)        # ~ 2*Ni*Nj*Nk/sqrt(S)
     print(result.oi_upper_bound())  # ~ sqrt(S)
+
+The legacy free function ``repro.derive_bounds`` is kept as a thin wrapper
+over the analyzer.
 """
 
-from . import core, ir, linalg, pebble, polybench, sets
+from . import analysis, core, ir, linalg, pebble, polybench, sets
+from .analysis import AnalysisConfig, Analyzer
 from .core import derive_bounds
 from .ir import AffineProgram, ProgramBuilder
 
 __all__ = [
     "AffineProgram",
+    "AnalysisConfig",
+    "Analyzer",
     "ProgramBuilder",
+    "analysis",
     "core",
     "derive_bounds",
     "ir",

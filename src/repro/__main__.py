@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro`` (or the ``repro`` entry point).
+
+Subcommands
+-----------
+``analyze <kernel>``
+    Derive the I/O lower bound for one PolyBench kernel and print (or dump as
+    JSON) the resulting formulae.
+
+``suite [--kernels ...] [--jobs N] --json out.json``
+    Run the derivation over the PolyBench suite through
+    :meth:`repro.analysis.Analyzer.analyze_many` and persist every result as
+    a reloadable JSON document.
+
+``kernels``
+    List the registered PolyBench kernels.
+
+All derivation knobs map onto :class:`repro.analysis.AnalysisConfig` fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+import sympy
+
+from .analysis import AnalysisConfig, Analyzer, save_results
+from .polybench import all_kernels, analyze_suite, get_kernel, kernel_names
+
+
+def _parse_instance(pairs: Sequence[str]) -> dict[str, int] | None:
+    """Parse repeated ``NAME=VALUE`` arguments into an instance mapping."""
+    if not pairs:
+        return None
+    instance = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise argparse.ArgumentTypeError(
+                f"instance entries must look like NAME=VALUE, got {pair!r}"
+            )
+        instance[name] = int(value)
+    return instance
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("analysis configuration")
+    group.add_argument(
+        "--max-depth", type=int, default=None,
+        help="wavefront parametrisation depth (default: the kernel's registered depth)",
+    )
+    group.add_argument("--gamma", type=float, default=None,
+                       help="path domain-coverage threshold in [0, 1]")
+    group.add_argument(
+        "--strategies", nargs="+", default=None, metavar="NAME",
+        help="strategies to run, in order (default: kpartition wavefront)",
+    )
+    group.add_argument(
+        "--instance", nargs="*", default=(), metavar="NAME=VALUE",
+        help="heuristic ranking instance overrides (e.g. Ni=1000 S=512)",
+    )
+    group.add_argument(
+        "--no-validate-wavefront", action="store_true",
+        help="skip the concrete validation of the wavefront hypothesis",
+    )
+    group.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk result cache")
+
+
+def _config_for(args: argparse.Namespace, spec_max_depth: int) -> AnalysisConfig:
+    kwargs: dict = {
+        "max_depth": args.max_depth if args.max_depth is not None else spec_max_depth,
+        "instance": _parse_instance(args.instance),
+        "validate_wavefront": not args.no_validate_wavefront,
+        "cache_dir": args.cache_dir,
+    }
+    if args.gamma is not None:
+        kwargs["gamma"] = args.gamma
+    if args.strategies is not None:
+        kwargs["strategies"] = tuple(args.strategies)
+    if getattr(args, "jobs", None):
+        kwargs["n_jobs"] = args.jobs
+    return AnalysisConfig(**kwargs)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.kernel not in kernel_names():
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r}; see `python -m repro kernels`"
+        )
+    spec = get_kernel(args.kernel)
+    config = _config_for(args, spec.max_depth)
+    result = Analyzer(config).analyze(spec.program)
+
+    if args.json is not None:
+        payload = json.dumps(result.to_dict(), indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as stream:
+                stream.write(payload)
+            print(f"wrote {args.json}")
+        return 0
+
+    print(f"kernel           : {result.program_name}")
+    print(f"parameters       : {', '.join(result.parameters)}")
+    print(f"input size       : {result.input_size}")
+    print(f"total flops      : {result.total_flops}")
+    print(f"Q_low (complete) : {result.expression}")
+    print(f"Q_low (leading)  : {result.asymptotic}")
+    print(f"OI upper bound   : {result.oi_upper_bound()}")
+    if args.verbose:
+        print("derivation log:")
+        for line in result.log:
+            print(f"  * {line[:160]}")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    names = args.kernels if args.kernels else kernel_names()
+    unknown = sorted(set(names) - set(kernel_names()))
+    if unknown:
+        raise SystemExit(f"unknown kernels: {unknown}; see `python -m repro kernels`")
+
+    overrides: dict = {
+        "instance": _parse_instance(args.instance),
+        "validate_wavefront": not args.no_validate_wavefront,
+        "cache_dir": args.cache_dir,
+    }
+    if args.max_depth is not None:
+        overrides["max_depth"] = args.max_depth
+    if args.gamma is not None:
+        overrides["gamma"] = args.gamma
+    if args.strategies is not None:
+        overrides["strategies"] = tuple(args.strategies)
+    analyses = analyze_suite(names, n_jobs=args.jobs, **overrides)
+    results = [analysis.result for analysis in analyses]
+
+    if args.json is not None:
+        save_results(results, args.json)
+        print(f"wrote {len(results)} results to {args.json}")
+    print(f"{'kernel':<16} {'Q_low (asymptotic)':<40} {'OI_up'}")
+    print("-" * 72)
+    for result in results:
+        print(
+            f"{result.program_name:<16} {sympy.sstr(result.asymptotic):<40} "
+            f"{sympy.sstr(result.oi_upper_bound())}"
+        )
+    return 0
+
+
+def _cmd_kernels(_args: argparse.Namespace) -> int:
+    for spec in all_kernels():
+        print(f"{spec.name:<16} {spec.category:<14} max_depth={spec.max_depth}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IOLB reproduction: derive parametric I/O lower bounds.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="analyze one PolyBench kernel")
+    analyze.add_argument("kernel", help="kernel name (see `python -m repro kernels`)")
+    analyze.add_argument("--json", default=None, metavar="FILE",
+                         help="write the result as JSON to FILE ('-' for stdout)")
+    analyze.add_argument("--verbose", action="store_true", help="print the derivation log")
+    _add_config_arguments(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    suite = commands.add_parser("suite", help="analyze many kernels, persist as JSON")
+    suite.add_argument("--kernels", nargs="+", default=None, metavar="NAME",
+                       help="kernel subset (default: the whole suite)")
+    suite.add_argument("--json", default=None, metavar="FILE",
+                       help="write all results as one JSON document")
+    suite.add_argument("--jobs", type=int, default=1, help="worker processes")
+    _add_config_arguments(suite)
+    suite.set_defaults(handler=_cmd_suite)
+
+    kernels = commands.add_parser("kernels", help="list registered kernels")
+    kernels.set_defaults(handler=_cmd_kernels)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, KeyError, argparse.ArgumentTypeError) as error:
+        # Configuration and lookup mistakes (bad gamma, unknown strategy,
+        # malformed NAME=VALUE, ...) are user errors, not crashes: print the
+        # message, not a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""repro.analysis — the configurable, pluggable, batch-capable Analyzer API.
+
+This package is the primary public entry point for deriving I/O lower bounds
+(the legacy :func:`repro.core.derive_bounds` free function is a thin wrapper
+kept for backward compatibility):
+
+* :class:`AnalysisConfig` — every knob of the derivation in one frozen,
+  JSON-serializable object;
+* :class:`BoundStrategy` / :func:`register_strategy` — the pluggable
+  sub-bound derivation families run by the Algorithm 6 driver
+  (:class:`KPartitionStrategy` and :class:`WavefrontStrategy` are built in);
+* :class:`Analyzer` — ``analyze(program)`` for one program,
+  ``analyze_many(programs)`` for batches with process fan-out and on-disk
+  memoisation keyed by :func:`program_fingerprint`;
+* :mod:`~repro.analysis.serialization` — JSON documents of many results
+  (:func:`save_results` / :func:`load_results`).
+
+Typical usage::
+
+    from repro.analysis import AnalysisConfig, Analyzer
+
+    analyzer = Analyzer(AnalysisConfig(max_depth=1, n_jobs=4, cache_dir=".iolb"))
+    result = analyzer.analyze(program)
+    print(result.asymptotic, result.oi_upper_bound())
+"""
+
+from .analyzer import Analyzer, program_fingerprint, run_analysis
+from .config import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_GAMMA,
+    DEFAULT_MAX_SUBCDAGS_PER_STATEMENT,
+    DEFAULT_PARAM_VALUE,
+    DEFAULT_STRATEGIES,
+    AnalysisConfig,
+)
+from .serialization import (
+    load_results,
+    results_from_document,
+    results_to_document,
+    save_results,
+)
+from .strategies import (
+    BoundStrategy,
+    KPartitionStrategy,
+    WavefrontStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    resolve_strategies,
+    unregister_strategy,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "Analyzer",
+    "BoundStrategy",
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_GAMMA",
+    "DEFAULT_MAX_SUBCDAGS_PER_STATEMENT",
+    "DEFAULT_PARAM_VALUE",
+    "DEFAULT_STRATEGIES",
+    "KPartitionStrategy",
+    "WavefrontStrategy",
+    "available_strategies",
+    "get_strategy",
+    "load_results",
+    "program_fingerprint",
+    "register_strategy",
+    "resolve_strategies",
+    "results_from_document",
+    "results_to_document",
+    "run_analysis",
+    "save_results",
+    "unregister_strategy",
+]

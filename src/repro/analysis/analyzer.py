@@ -1,0 +1,226 @@
+"""The :class:`Analyzer`: the configurable driver of Algorithm 6.
+
+The analyzer separates *what* to derive (the strategies and knobs captured by
+:class:`~repro.analysis.config.AnalysisConfig`) from *how* the derivation is
+executed: one program (:meth:`Analyzer.analyze`), or a batch fanned out over
+worker processes with per-program disk memoisation
+(:meth:`Analyzer.analyze_many`).
+
+The legacy :func:`repro.core.iolb.derive_bounds` free function is now a thin
+wrapper over this class.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import sympy
+
+from ..core.bounds import IOBoundResult, SubBound, asymptotic_leading
+from ..core.decomposition import combine_sub_q
+from ..ir import AffineProgram, DFG
+from .config import AnalysisConfig
+from .strategies import resolve_strategies
+
+
+def program_fingerprint(program: AffineProgram) -> str:
+    """Stable hex fingerprint of an affine program's mathematical content.
+
+    The fingerprint is built from a canonical textual description (name,
+    parameters, array/statement domains, dependence functions) rather than
+    from pickled bytes, so it is insensitive to object identity and to the
+    order in which arrays, statements or dependences were declared.
+    """
+    lines = [f"program {program.name}", "params " + " ".join(program.params)]
+    for name in sorted(program.arrays):
+        array = program.arrays[name]
+        lines.append(
+            f"array {name} input={array.is_input} output={array.is_output} "
+            f"domain={array.domain!r}"
+        )
+    for name in sorted(program.statements):
+        statement = program.statements[name]
+        lines.append(f"statement {name} flops={statement.flops} domain={statement.domain!r}")
+    for dep in sorted(
+        program.dependences,
+        key=lambda d: (d.sink, d.source, repr(d.function.exprs), repr(d.domain)),
+    ):
+        lines.append(
+            f"dep {dep.source}->{dep.sink} fn={dep.function.exprs!r} domain={dep.domain!r}"
+        )
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def run_analysis(program: AffineProgram, config: AnalysisConfig) -> IOBoundResult:
+    """One full derivation (Algorithm 6) — the cache- and pool-free core.
+
+    Runs every strategy named by ``config`` in order, combines the collected
+    sub-bounds with the non-disjoint decomposition lemma (Alg. 1), adds the
+    compulsory input misses and clamps at zero:
+
+        Q_low  =  |inputs|  +  max(0, combined sub-bounds).
+    """
+    strategies = resolve_strategies(config.strategies)
+    dfg = DFG.from_program(program)
+    instance = config.heuristic_instance(program.params)
+
+    log: list[str] = []
+    sub_bounds: list[SubBound] = []
+    for strategy in strategies:
+        sub_bounds.extend(strategy.derive(dfg, config, instance, log))
+
+    combined, accepted = combine_sub_q(sub_bounds, instance)
+    log.append(f"combined {len(accepted)}/{len(sub_bounds)} sub-bounds")
+
+    input_size = program.input_size()
+    total_flops = program.total_flops()
+    expression = input_size + sympy.Max(sympy.Integer(0), combined)
+    smooth = sympy.expand(input_size + sympy.Max(sympy.Integer(0), combined))
+    params = set(program.params)
+    asymptotic = asymptotic_leading(smooth, params)
+
+    return IOBoundResult(
+        program_name=program.name,
+        parameters=program.params,
+        expression=expression,
+        smooth=smooth,
+        asymptotic=asymptotic,
+        input_size=input_size,
+        total_flops=total_flops,
+        sub_bounds=sub_bounds,
+        log=log,
+    )
+
+
+def _analyze_for_pool(payload: tuple[AffineProgram, AnalysisConfig]) -> IOBoundResult:
+    """Module-level worker entry point (must be picklable for process pools)."""
+    program, config = payload
+    return run_analysis(program, config)
+
+
+class Analyzer:
+    """Derive I/O lower bounds for affine programs under one configuration.
+
+    Typical usage::
+
+        from repro.analysis import AnalysisConfig, Analyzer
+
+        analyzer = Analyzer(AnalysisConfig(max_depth=1))
+        result = analyzer.analyze(program)
+        results = analyzer.analyze_many(programs)   # fans out when n_jobs > 1
+
+    With ``config.cache_dir`` set, results are memoised on disk keyed by the
+    program fingerprint and the result-relevant part of the configuration, so
+    repeated suite runs and multi-process batches skip finished derivations.
+    """
+
+    def __init__(self, config: AnalysisConfig | None = None):
+        self.config = config if config is not None else AnalysisConfig()
+
+    # -- single-program entry point -----------------------------------------
+
+    def analyze(self, program: AffineProgram) -> IOBoundResult:
+        """Derive the parametric I/O lower bound for one program."""
+        cached = self._cache_load(program)
+        if cached is not None:
+            return cached
+        result = run_analysis(program, self.config)
+        self._cache_store(program, result)
+        return result
+
+    # -- batch entry point ---------------------------------------------------
+
+    def analyze_many(self, programs: Iterable[AffineProgram]) -> list[IOBoundResult]:
+        """Derive bounds for a batch of programs, preserving input order.
+
+        With ``config.n_jobs > 1`` the uncached derivations are fanned out
+        over a process pool; cached results are returned without spawning
+        workers.  The output list is index-aligned with ``programs``.
+        """
+        batch: Sequence[AffineProgram] = list(programs)
+        results: list[IOBoundResult | None] = [None] * len(batch)
+
+        pending: list[int] = []
+        for index, program in enumerate(batch):
+            cached = self._cache_load(program)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        if pending:
+            workers = min(self.config.n_jobs, len(pending))
+            if workers <= 1:
+                for index in pending:
+                    results[index] = run_analysis(batch[index], self.config)
+                    self._cache_store(batch[index], results[index])
+            else:
+                # Workers only need the result-relevant knobs; stripping the
+                # executor fields keeps the pickled payload lean and stops a
+                # worker from ever re-entering the pool or the cache.
+                worker_config = self.config.replace(n_jobs=1, cache_dir=None)
+                with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(_analyze_for_pool, (batch[index], worker_config)): index
+                        for index in pending
+                    }
+                    for future in concurrent.futures.as_completed(futures):
+                        index = futures[future]
+                        results[index] = future.result()
+                        self._cache_store(batch[index], results[index])
+
+        return [result for result in results if result is not None]
+
+    # -- disk cache -----------------------------------------------------------
+
+    def cache_key(self, program: AffineProgram) -> str:
+        """Cache key: program fingerprint x result-relevant config signature."""
+        config_digest = hashlib.sha256(
+            repr(self.config.signature()).encode("utf-8")
+        ).hexdigest()
+        return f"{program_fingerprint(program)}-{config_digest[:16]}"
+
+    def _cache_path(self, program: AffineProgram) -> Path | None:
+        if self.config.cache_dir is None:
+            return None
+        return Path(self.config.cache_dir) / f"{self.cache_key(program)}.json"
+
+    def _cache_load(self, program: AffineProgram) -> IOBoundResult | None:
+        path = self._cache_path(program)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            return IOBoundResult.from_dict(data)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            # A truncated or stale-schema entry is treated as a miss; it will
+            # be overwritten by the fresh result below.
+            return None
+
+    def _cache_store(self, program: AffineProgram, result: IOBoundResult | None) -> None:
+        path = self._cache_path(program)
+        if path is None or result is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so concurrent analyzers never read a half-written
+        # entry (os.replace is atomic within one filesystem).
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(result.to_dict(), stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,54 @@
+"""Persist and reload batches of analysis results as JSON documents.
+
+The per-object schema lives on the result types themselves
+(:meth:`IOBoundResult.to_dict` / :meth:`IOBoundResult.from_dict`, with sympy
+expressions serialized via ``srepr``); this module adds the document-level
+plumbing used by the CLI, the PolyBench suite and the on-disk cache: a
+versioned envelope holding many results keyed by program name.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..core.bounds import IOBoundResult
+
+#: Version tag of the multi-result document envelope.
+DOCUMENT_SCHEMA = 1
+
+
+def results_to_document(results: Iterable[IOBoundResult]) -> dict:
+    """Bundle results into a JSON-compatible document keyed by program name."""
+    return {
+        "schema": DOCUMENT_SCHEMA,
+        "results": {result.program_name: result.to_dict() for result in results},
+    }
+
+
+def results_from_document(document: Mapping) -> dict[str, IOBoundResult]:
+    """Inverse of :func:`results_to_document`."""
+    schema = document.get("schema", DOCUMENT_SCHEMA)
+    if schema != DOCUMENT_SCHEMA:
+        raise ValueError(
+            f"unsupported results document schema {schema!r} "
+            f"(this library reads schema {DOCUMENT_SCHEMA})"
+        )
+    return {
+        name: IOBoundResult.from_dict(entry)
+        for name, entry in document.get("results", {}).items()
+    }
+
+
+def save_results(results: Iterable[IOBoundResult], path: str | Path) -> Path:
+    """Write results to ``path`` as a JSON document; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(results_to_document(results), indent=2) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> dict[str, IOBoundResult]:
+    """Reload results previously written by :func:`save_results`."""
+    return results_from_document(json.loads(Path(path).read_text()))

@@ -1,0 +1,263 @@
+"""Pluggable bound-derivation strategies and their registry.
+
+Algorithm 6 of the paper interleaves two families of sub-bounds: K-partition
+bounds (Alg. 2/3/4) and wavefront bounds (Alg. 5 / Cor. 6.3).  Historically
+both were inlined in ``derive_bounds``; here each family is a
+:class:`BoundStrategy` and the driver is a generic loop over the strategies
+named by :class:`~repro.analysis.config.AnalysisConfig`.
+
+Third parties can register additional strategies (e.g. an isl-backed
+derivation, or a domain-specific shortcut) with :func:`register_strategy` and
+select them via ``AnalysisConfig(strategies=(...))`` — no changes to the
+driver are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Protocol, runtime_checkable
+
+from ..core.bounds import SubBound, evaluate
+from ..core.kpartition import sub_param_q_by_partition
+from ..core.paths import genpaths
+from ..core.wavefront import sub_param_q_by_wavefront
+from ..ir import DFG
+from ..linalg import SubspaceLattice, subspace_closure
+from ..sets import Constraint, CountingError, LinExpr, ParamSet, card
+from .config import AnalysisConfig
+
+#: Cap on the number of pieces a shattered working domain may have before the
+#: same-statement decomposition gives up on further rounds.
+MAX_WORKING_PIECES = 16
+
+
+@runtime_checkable
+class BoundStrategy(Protocol):
+    """One family of sub-bound derivations plugged into the Alg. 6 driver.
+
+    A strategy receives the program's DFG, the analysis configuration and the
+    concrete ranking instance, and returns the sub-bounds it could derive.
+    Strategies must be stateless (or at least reusable): one instance may be
+    used for many programs, possibly from multiple worker processes.
+    """
+
+    #: Registry key, also recorded in ``SubBound.method``-style logs.
+    name: str
+
+    def derive(
+        self,
+        dfg: DFG,
+        config: AnalysisConfig,
+        instance: Mapping[str, int],
+        log: list[str],
+    ) -> list[SubBound]:
+        """Derive the strategy's sub-bounds for ``dfg.program``."""
+        ...
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[], BoundStrategy]] = {}
+
+
+def register_strategy(
+    factory: Callable[[], BoundStrategy], *, name: str | None = None, replace: bool = False
+) -> Callable[[], BoundStrategy]:
+    """Register a strategy factory (typically the strategy class itself).
+
+    ``name`` defaults to the factory's ``name`` class attribute.  Returns the
+    factory so it can be used as a decorator::
+
+        @register_strategy
+        class MyStrategy:
+            name = "mine"
+            def derive(self, dfg, config, instance, log): ...
+
+    Note for ``Analyzer.analyze_many`` with ``n_jobs > 1``: worker processes
+    re-import this module, so a custom strategy is only visible to them if
+    its registration runs at import time of a module the workers also import
+    (always true with the ``fork`` start method used on Linux; under
+    ``spawn`` — macOS/Windows defaults — register at module top level, not
+    inside ``if __name__ == "__main__"``).
+    """
+    key = name if name is not None else getattr(factory, "name", None)
+    if not key or not isinstance(key, str):
+        raise ValueError("strategy factory must define a non-empty string `name`")
+    if key in _REGISTRY and not replace:
+        raise ValueError(f"strategy {key!r} already registered (pass replace=True to override)")
+    _REGISTRY[key] = factory
+    return factory
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy from the registry (mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_strategy(name: str) -> BoundStrategy:
+    """Instantiate the registered strategy called ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {available_strategies()}"
+        ) from None
+    return factory()
+
+
+def available_strategies() -> list[str]:
+    """Names of all registered strategies, sorted."""
+    return sorted(_REGISTRY)
+
+
+def resolve_strategies(names: Iterable[str]) -> list[BoundStrategy]:
+    """Instantiate the strategies named by a config, preserving order."""
+    return [get_strategy(name) for name in names]
+
+
+# -- shared helpers ---------------------------------------------------------
+
+def _large_parameter_context(params: Iterable[str], minimum: int = 4) -> list[Constraint]:
+    """Context constraints ``param >= minimum`` encoding the large-parameter regime."""
+    return [Constraint(LinExpr({p: 1}, -minimum)) for p in params]
+
+
+def _instance_card(domain: ParamSet, instance: Mapping[str, int]) -> float | None:
+    """Cardinality of a domain at the heuristic instance (None when unknown)."""
+    try:
+        expr = card(domain)
+    except CountingError:
+        return None
+    try:
+        return evaluate(expr, instance)
+    except (TypeError, ValueError):
+        return None
+
+
+# -- built-in strategies ----------------------------------------------------
+
+@register_strategy
+class KPartitionStrategy:
+    """K-partition sub-bounds (Alg. 2/3/4 + the Sec. 4.2 decomposition).
+
+    For every statement, repeatedly search for a path combination (Alg. 3),
+    grow the kernel subgroup lattice (Alg. 2) and derive a K-partition bound
+    (Alg. 4), removing the covered may-spill region before looking for
+    another sub-CDAG of the same statement.
+    """
+
+    name = "kpartition"
+
+    def derive(
+        self,
+        dfg: DFG,
+        config: AnalysisConfig,
+        instance: Mapping[str, int],
+        log: list[str],
+    ) -> list[SubBound]:
+        program = dfg.program
+        sub_bounds: list[SubBound] = []
+        for statement in dfg.topological_statements():
+            working = program.statement(statement).domain
+            for round_index in range(config.max_subcdags_per_statement):
+                bound = self._derive_partition_bound(
+                    dfg, statement, working, instance, config.gamma
+                )
+                if bound is None:
+                    break
+                sub_bounds.append(bound)
+                log.append(
+                    f"kpartition[{statement} round {round_index}]: "
+                    f"{bound.smooth} ({bound.notes})"
+                )
+                if round_index + 1 >= config.max_subcdags_per_statement:
+                    break
+                spill = bound.may_spill.get(statement)
+                if spill is None:
+                    break
+                # Pieces that are only non-empty for degenerate (tiny)
+                # parameter values are dropped: this is pure search-space
+                # pruning and keeps the later rounds focused on genuinely
+                # uncovered regions.
+                context = _large_parameter_context(program.params)
+                working = working.subtract(spill).coalesce(context)
+                if (
+                    working.is_obviously_empty()
+                    or len(working.pieces) > MAX_WORKING_PIECES
+                    or working.is_empty(context)
+                ):
+                    break
+        return sub_bounds
+
+    @staticmethod
+    def _derive_partition_bound(
+        dfg: DFG,
+        statement: str,
+        working_domain: ParamSet,
+        instance: Mapping[str, int],
+        gamma: float,
+    ) -> SubBound | None:
+        """One iteration of the per-statement loop of Algorithm 6 (lines 9-18)."""
+        domain_size = _instance_card(working_domain, instance)
+        if domain_size is not None and domain_size < 1:
+            return None
+
+        paths = genpaths(dfg, statement, restrict_domain=working_domain)
+        if not paths:
+            return None
+
+        ambient = dfg.program.statement(statement).space.dim
+        lattice = SubspaceLattice(ambient)
+        accepted = []
+        current_domain = working_domain.intersect(dfg.program.statement(statement).domain)
+        for path in paths:
+            restricted = current_domain.intersect(path.domain)
+            if domain_size is not None:
+                restricted_size = _instance_card(restricted, instance)
+                if restricted_size is not None and restricted_size < gamma * domain_size:
+                    continue
+            kernel = path.kernel()
+            if kernel.is_zero():
+                continue
+            lattice, changed = subspace_closure(lattice, kernel)
+            if not changed:
+                continue
+            accepted.append(path)
+            current_domain = restricted
+
+        if not accepted:
+            return None
+        return sub_param_q_by_partition(
+            dfg, statement, accepted, current_domain, lattice, depth=0
+        )
+
+
+@register_strategy
+class WavefrontStrategy:
+    """Wavefront sub-bounds (Alg. 5 / Cor. 6.3) at depths 1..max_depth."""
+
+    name = "wavefront"
+
+    def derive(
+        self,
+        dfg: DFG,
+        config: AnalysisConfig,
+        instance: Mapping[str, int],
+        log: list[str],
+    ) -> list[SubBound]:
+        program = dfg.program
+        sub_bounds: list[SubBound] = []
+        for depth in range(1, config.max_depth + 1):
+            for statement in dfg.topological_statements():
+                if len(program.statement(statement).dims) <= depth:
+                    continue
+                bound = sub_param_q_by_wavefront(
+                    dfg,
+                    statement,
+                    depth=depth,
+                    validation_instance=config.wavefront_validation_instance,
+                    validate=config.validate_wavefront,
+                )
+                if bound is not None:
+                    sub_bounds.append(bound)
+                    log.append(f"wavefront[{statement} depth {depth}]: {bound.smooth}")
+        return sub_bounds

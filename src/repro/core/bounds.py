@@ -15,12 +15,14 @@ the sympy plumbing:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Mapping
+from functools import reduce
+from typing import Any, Mapping
 
 import sympy
 
-from ..sets import ParamSet, sym
+from ..sets import ParamSet, parse_set, sym
 
 #: Fast-memory capacity symbol (number of words that fit in cache/scratchpad).
 S_SYMBOL: sympy.Symbol = sym("S")
@@ -99,6 +101,71 @@ def evaluate(expr: sympy.Expr, instance: Mapping[str, object]) -> float:
     return float(sympy.N(value))
 
 
+#: Version tag of the JSON serialization schema below.
+SERIALIZATION_SCHEMA = 1
+
+
+def expr_to_text(expr: sympy.Expr) -> str:
+    """Serialize a sympy expression to its exact ``srepr`` form."""
+    return sympy.srepr(sympy.sympify(expr))
+
+
+_STRING_LITERAL = re.compile(r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\"")
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+#: Identifiers that may appear in the ``srepr`` of a bound expression:
+#: expression heads, Symbol assumption keywords, and numeric atoms.  Anything
+#: else (``__import__``, ``lambda``, attribute names, ...) is rejected before
+#: the text reaches ``sympify``, which evaluates its input — result documents
+#: may come from untrusted files (shared caches, downloaded suite dumps).
+_ALLOWED_SREPR_NAMES = frozenset({
+    "Add", "Mul", "Pow", "Symbol", "Integer", "Rational", "Float",
+    "Max", "Min", "Abs", "floor", "ceiling", "sqrt",
+    "integer", "positive", "negative", "nonnegative", "nonpositive",
+    "real", "precision", "True", "False",
+    "S", "Half", "One", "Zero", "NegativeOne", "pi", "E",
+    "oo", "Infinity", "NegativeInfinity",
+})
+
+
+def expr_from_text(text: str) -> sympy.Expr:
+    """Rebuild a sympy expression from its ``srepr`` form (exact inverse).
+
+    Symbol names (quoted strings) are arbitrary; every bare identifier must
+    be on the srepr allowlist, so a malicious document cannot smuggle code
+    through the ``eval`` inside ``sympify``.
+    """
+    stripped = _STRING_LITERAL.sub("''", text)
+    for name in _IDENTIFIER.findall(stripped):
+        if name not in _ALLOWED_SREPR_NAMES:
+            raise ValueError(
+                f"refusing to deserialize expression containing {name!r} "
+                "(not a known srepr construct)"
+            )
+    return sympy.sympify(text)
+
+
+def _pset_to_pieces(domain: ParamSet) -> list[str]:
+    """Serialize a ParamSet as one parser-compatible string per piece."""
+    return [repr(ParamSet.from_basic(piece)) for piece in domain.pieces]
+
+
+def _pset_from_pieces(pieces: list[str]) -> ParamSet | None:
+    """Rebuild a ParamSet from per-piece strings (None when empty/unparseable).
+
+    Empty sets carry no information for the decomposition lemma, and a piece
+    the parser cannot read (none is produced by the current printers) makes
+    the whole set unusable — both cases drop the entry rather than guess.
+    """
+    try:
+        parsed = [parse_set(text) for text in pieces]
+    except Exception:
+        return None
+    if not parsed:
+        return None
+    return reduce(ParamSet.union, parsed)
+
+
 @dataclass
 class SubBound:
     """A lower bound for one sub-CDAG (one output of Alg. 4, Alg. 5 or Sec. 4.3).
@@ -134,6 +201,38 @@ class SubBound:
     def evaluate(self, instance: Mapping[str, object]) -> float:
         return evaluate(self.smooth, instance)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation (sympy expressions via ``srepr``)."""
+        return {
+            "expression": expr_to_text(self.expression),
+            "smooth": expr_to_text(self.smooth),
+            "may_spill": {
+                statement: _pset_to_pieces(domain)
+                for statement, domain in self.may_spill.items()
+            },
+            "method": self.method,
+            "statement": self.statement,
+            "depth": self.depth,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubBound":
+        may_spill: dict[str, ParamSet] = {}
+        for statement, pieces in data.get("may_spill", {}).items():
+            domain = _pset_from_pieces(pieces)
+            if domain is not None:
+                may_spill[statement] = domain
+        return cls(
+            expression=expr_from_text(data["expression"]),
+            smooth=expr_from_text(data["smooth"]),
+            may_spill=may_spill,
+            method=data.get("method", "kpartition"),
+            statement=data.get("statement", ""),
+            depth=int(data.get("depth", 0)),
+            notes=data.get("notes", ""),
+        )
+
 
 @dataclass
 class IOBoundResult:
@@ -165,6 +264,46 @@ class IOBoundResult:
         flops = evaluate(self.total_flops, instance)
         q_low = max(self.evaluate(instance), 1.0)
         return flops / q_low
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation of the full result.
+
+        Sympy expressions are serialized with ``srepr`` so the round-trip is
+        exact (including symbol assumptions, ``floor`` and ``Max``); may-spill
+        sets are serialized piece-by-piece in the library's set syntax.
+        """
+        return {
+            "schema": SERIALIZATION_SCHEMA,
+            "program_name": self.program_name,
+            "parameters": list(self.parameters),
+            "expression": expr_to_text(self.expression),
+            "smooth": expr_to_text(self.smooth),
+            "asymptotic": expr_to_text(self.asymptotic),
+            "input_size": expr_to_text(self.input_size),
+            "total_flops": expr_to_text(self.total_flops),
+            "sub_bounds": [bound.to_dict() for bound in self.sub_bounds],
+            "log": list(self.log),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IOBoundResult":
+        schema = data.get("schema", SERIALIZATION_SCHEMA)
+        if schema != SERIALIZATION_SCHEMA:
+            raise ValueError(
+                f"unsupported IOBoundResult schema {schema!r} "
+                f"(this library reads schema {SERIALIZATION_SCHEMA})"
+            )
+        return cls(
+            program_name=data["program_name"],
+            parameters=tuple(data["parameters"]),
+            expression=expr_from_text(data["expression"]),
+            smooth=expr_from_text(data["smooth"]),
+            asymptotic=expr_from_text(data["asymptotic"]),
+            input_size=expr_from_text(data["input_size"]),
+            total_flops=expr_from_text(data["total_flops"]),
+            sub_bounds=[SubBound.from_dict(entry) for entry in data.get("sub_bounds", [])],
+            log=list(data.get("log", [])),
+        )
 
     def __repr__(self) -> str:
         return (

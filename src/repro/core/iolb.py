@@ -1,6 +1,11 @@
-"""Main IOLB driver (Sec. 7, Algorithm 6).
+"""Legacy entry point for the IOLB driver (Sec. 7, Algorithm 6).
 
-``derive_bounds`` orchestrates the whole derivation for an affine program:
+The derivation itself now lives in :mod:`repro.analysis`: the Algorithm 6
+driver is :func:`repro.analysis.run_analysis`, the two sub-bound families are
+the registered ``kpartition`` and ``wavefront`` strategies, and
+:class:`repro.analysis.Analyzer` adds batching, process fan-out and on-disk
+memoisation on top.  :func:`derive_bounds` is kept as a thin wrapper so
+existing call sites keep working:
 
 1. build the DFG;
 2. for every statement, repeatedly search for a path combination (Alg. 3),
@@ -19,33 +24,25 @@ from __future__ import annotations
 
 from typing import Mapping
 
-import sympy
+from ..analysis.config import (
+    DEFAULT_CACHE_SIZE,
+    DEFAULT_GAMMA,
+    DEFAULT_MAX_SUBCDAGS_PER_STATEMENT,
+    DEFAULT_PARAM_VALUE,
+    AnalysisConfig,
+)
+from ..analysis.strategies import MAX_WORKING_PIECES
+from ..ir import AffineProgram
+from .bounds import IOBoundResult
 
-from ..ir import AffineProgram, DFG
-from ..linalg import SubspaceLattice, subspace_closure
-from ..sets import Constraint, CountingError, LinExpr, ParamSet, card
-from .bounds import IOBoundResult, SubBound, asymptotic_leading, evaluate
-from .decomposition import combine_sub_q
-from .kpartition import sub_param_q_by_partition
-from .paths import genpaths
-from .wavefront import sub_param_q_by_wavefront
-
-#: Default heuristic instance: parameters are taken much larger than the cache
-#: size, matching the asymptotic regime (S = o(params)) in which the bounds
-#: are compared and reported.  The instance is only used to *rank* candidate
-#: sub-bounds; the returned bound is valid for every parameter value.
-DEFAULT_PARAM_VALUE = 10**5
-DEFAULT_CACHE_SIZE = 256
-DEFAULT_GAMMA = 0.25
-
-#: Number of statement-centric sub-CDAGs searched per statement.  The second
-#: and later rounds work on the domain left after removing the previous
-#: round's may-spill set; that set difference can shatter into many pieces, so
-#: the default keeps a single round (all headline PolyBench results come from
-#: round 0) and callers can raise it for programs that need the Sec. 4.2
-#: same-statement decomposition.
-DEFAULT_MAX_SUBCDAGS_PER_STATEMENT = 1
-MAX_WORKING_PIECES = 16
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_GAMMA",
+    "DEFAULT_MAX_SUBCDAGS_PER_STATEMENT",
+    "DEFAULT_PARAM_VALUE",
+    "MAX_WORKING_PIECES",
+    "derive_bounds",
+]
 
 
 def derive_bounds(
@@ -59,14 +56,19 @@ def derive_bounds(
 ) -> IOBoundResult:
     """Derive a parametric I/O lower bound for ``program``.
 
+    Backward-compatible wrapper over :class:`repro.analysis.Analyzer`; new
+    code should build an :class:`repro.analysis.AnalysisConfig` directly
+    (which also exposes batching, caching and custom strategies).
+
     Parameters
     ----------
     program:
         The affine program (statements, input arrays, flow dependences).
     instance:
         Heuristic parameter values used only to rank competing sub-bounds
-        (the returned bound is valid for *all* parameter values).  Defaults to
-        128 for every program parameter and 512 for the cache size ``S``.
+        (the returned bound is valid for *all* parameter values).  Defaults
+        to ``DEFAULT_PARAM_VALUE`` (10**5) for every program parameter and
+        ``DEFAULT_CACHE_SIZE`` (256) for the cache size ``S``.
     max_depth:
         Maximum loop-parametrisation depth explored by the wavefront method.
     gamma:
@@ -75,142 +77,17 @@ def derive_bounds(
         When True, wavefront bounds are only kept if the reachability
         hypothesis of Cor. 6.3 holds on a small concretely-expanded CDAG.
     """
-    dfg = DFG.from_program(program)
-    instance = _heuristic_instance(program, instance)
-    log: list[str] = []
-    sub_bounds: list[SubBound] = []
+    # Imported here rather than at module level: repro.analysis.analyzer
+    # imports repro.core submodules, so a load-time import would be circular
+    # whichever of the two packages is imported first.
+    from ..analysis.analyzer import Analyzer
 
-    # --- K-partition bounds (depth 0) -------------------------------------
-    for statement in dfg.topological_statements():
-        working = program.statement(statement).domain
-        for round_index in range(max_subcdags_per_statement):
-            bound = _derive_partition_bound(dfg, statement, working, instance, gamma)
-            if bound is None:
-                break
-            sub_bounds.append(bound)
-            log.append(
-                f"kpartition[{statement} round {round_index}]: "
-                f"{bound.smooth} ({bound.notes})"
-            )
-            if round_index + 1 >= max_subcdags_per_statement:
-                break
-            spill = bound.may_spill.get(statement)
-            if spill is None:
-                break
-            # Pieces that are only non-empty for degenerate (tiny) parameter
-            # values are dropped: this is pure search-space pruning and keeps
-            # the later rounds focused on genuinely uncovered regions.
-            context = _large_parameter_context(program)
-            working = working.subtract(spill).coalesce(context)
-            if (
-                working.is_obviously_empty()
-                or len(working.pieces) > MAX_WORKING_PIECES
-                or working.is_empty(context)
-            ):
-                break
-
-    # --- Wavefront bounds (depth >= 1) -------------------------------------
-    for depth in range(1, max_depth + 1):
-        for statement in dfg.topological_statements():
-            if len(program.statement(statement).dims) <= depth:
-                continue
-            bound = sub_param_q_by_wavefront(
-                dfg,
-                statement,
-                depth=depth,
-                validation_instance=wavefront_validation_instance,
-                validate=validate_wavefront,
-            )
-            if bound is not None:
-                sub_bounds.append(bound)
-                log.append(f"wavefront[{statement} depth {depth}]: {bound.smooth}")
-
-    # --- Combination -------------------------------------------------------
-    combined, accepted = combine_sub_q(sub_bounds, instance)
-    log.append(f"combined {len(accepted)}/{len(sub_bounds)} sub-bounds")
-
-    input_size = program.input_size()
-    total_flops = program.total_flops()
-    expression = input_size + sympy.Max(sympy.Integer(0), combined)
-    smooth = sympy.expand(input_size + sympy.Max(sympy.Integer(0), combined))
-    params = set(program.params)
-    asymptotic = asymptotic_leading(smooth, params)
-
-    return IOBoundResult(
-        program_name=program.name,
-        parameters=program.params,
-        expression=expression,
-        smooth=smooth,
-        asymptotic=asymptotic,
-        input_size=input_size,
-        total_flops=total_flops,
-        sub_bounds=sub_bounds,
-        log=log,
+    config = AnalysisConfig(
+        instance=instance,
+        gamma=gamma,
+        max_depth=max_depth,
+        validate_wavefront=validate_wavefront,
+        wavefront_validation_instance=wavefront_validation_instance,
+        max_subcdags_per_statement=max_subcdags_per_statement,
     )
-
-
-def _large_parameter_context(program: AffineProgram, minimum: int = 4) -> list[Constraint]:
-    """Context constraints ``param >= minimum`` encoding the large-parameter regime."""
-    return [Constraint(LinExpr({p: 1}, -minimum)) for p in program.params]
-
-
-def _heuristic_instance(
-    program: AffineProgram, instance: Mapping[str, int] | None
-) -> dict[str, int]:
-    values = {p: DEFAULT_PARAM_VALUE for p in program.params}
-    values["S"] = DEFAULT_CACHE_SIZE
-    if instance:
-        values.update({k: int(v) for k, v in instance.items()})
-    return values
-
-
-def _derive_partition_bound(
-    dfg: DFG,
-    statement: str,
-    working_domain: ParamSet,
-    instance: Mapping[str, int],
-    gamma: float,
-) -> SubBound | None:
-    """One iteration of the per-statement loop of Algorithm 6 (lines 9-18)."""
-    domain_size = _instance_card(working_domain, instance)
-    if domain_size is not None and domain_size < 1:
-        return None
-
-    paths = genpaths(dfg, statement, restrict_domain=working_domain)
-    if not paths:
-        return None
-
-    ambient = dfg.program.statement(statement).space.dim
-    lattice = SubspaceLattice(ambient)
-    accepted = []
-    current_domain = working_domain.intersect(dfg.program.statement(statement).domain)
-    for path in paths:
-        restricted = current_domain.intersect(path.domain)
-        if domain_size is not None:
-            restricted_size = _instance_card(restricted, instance)
-            if restricted_size is not None and restricted_size < gamma * domain_size:
-                continue
-        kernel = path.kernel()
-        if kernel.is_zero():
-            continue
-        lattice, changed = subspace_closure(lattice, kernel)
-        if not changed:
-            continue
-        accepted.append(path)
-        current_domain = restricted
-
-    if not accepted:
-        return None
-    return sub_param_q_by_partition(dfg, statement, accepted, current_domain, lattice, depth=0)
-
-
-def _instance_card(domain: ParamSet, instance: Mapping[str, int]) -> float | None:
-    """Cardinality of a domain at the heuristic instance (None when unknown)."""
-    try:
-        expr = card(domain)
-    except CountingError:
-        return None
-    try:
-        return evaluate(expr, instance)
-    except (TypeError, ValueError):
-        return None
+    return Analyzer(config).analyze(program)

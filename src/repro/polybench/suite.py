@@ -17,12 +17,12 @@ from typing import Iterable, Mapping
 
 import sympy
 
+from ..analysis import AnalysisConfig, Analyzer
 from ..core import (
     IOBoundResult,
     PAPER_CACHE_WORDS,
     PAPER_MACHINE_BALANCE,
     classify,
-    derive_bounds,
 )
 from ..ir import CDAG
 from ..pebble import lexicographic_schedule, simulate_schedule, tiled_schedule
@@ -47,19 +47,56 @@ class KernelAnalysis:
         return sympy.simplify(self.oi_upper / manual)
 
 
-def analyze_kernel(name: str, **kwargs) -> KernelAnalysis:
-    """Run the IOLB derivation on one PolyBench kernel."""
+def _kernel_config(spec: KernelSpec, config: AnalysisConfig | None, **kwargs) -> AnalysisConfig:
+    """Analysis config for one kernel: spec defaults, then explicit overrides."""
+    base = config if config is not None else AnalysisConfig(max_depth=spec.max_depth)
+    if config is None and "max_depth" not in kwargs:
+        kwargs = {**kwargs, "max_depth": spec.max_depth}
+    return base.replace(**kwargs) if kwargs else base
+
+
+def analyze_kernel(
+    name: str, config: AnalysisConfig | None = None, **kwargs
+) -> KernelAnalysis:
+    """Run the IOLB derivation on one PolyBench kernel.
+
+    Without arguments the kernel's registered wavefront depth is used; pass
+    an :class:`~repro.analysis.AnalysisConfig` (or individual config fields
+    as keyword arguments, e.g. ``gamma=0.5``) to override.
+    """
     spec = get_kernel(name)
-    options = {"max_depth": spec.max_depth}
-    options.update(kwargs)
-    result = derive_bounds(spec.program, **options)
+    result = Analyzer(_kernel_config(spec, config, **kwargs)).analyze(spec.program)
     return KernelAnalysis(spec=spec, result=result)
 
 
-def analyze_suite(names: Iterable[str] | None = None, **kwargs) -> list[KernelAnalysis]:
-    """Run the derivation over the whole suite (or a subset)."""
+def analyze_suite(
+    names: Iterable[str] | None = None,
+    config: AnalysisConfig | None = None,
+    n_jobs: int | None = None,
+    **kwargs,
+) -> list[KernelAnalysis]:
+    """Run the derivation over the whole suite (or a subset).
+
+    Kernels sharing an analysis configuration are batched through
+    :meth:`Analyzer.analyze_many`, so ``n_jobs > 1`` (given here or on
+    ``config``) fans the derivations out over worker processes and
+    ``config.cache_dir`` memoises them on disk.
+    """
     specs = all_kernels() if names is None else [get_kernel(n) for n in names]
-    return [analyze_kernel(spec.name, **kwargs) for spec in specs]
+    by_signature: dict[tuple, tuple[AnalysisConfig, list[KernelSpec]]] = {}
+    for spec in specs:
+        kernel_config = _kernel_config(spec, config, **kwargs)
+        if n_jobs is not None:
+            kernel_config = kernel_config.replace(n_jobs=n_jobs)
+        key = kernel_config.signature()
+        by_signature.setdefault(key, (kernel_config, []))[1].append(spec)
+
+    analyses: dict[str, KernelAnalysis] = {}
+    for kernel_config, group in by_signature.values():
+        results = Analyzer(kernel_config).analyze_many([s.program for s in group])
+        for spec, result in zip(group, results):
+            analyses[spec.name] = KernelAnalysis(spec=spec, result=result)
+    return [analyses[spec.name] for spec in specs]
 
 
 def table1_rows(analyses: Iterable[KernelAnalysis]) -> list[dict[str, object]]:

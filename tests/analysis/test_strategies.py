@@ -1,0 +1,143 @@
+"""Strategy registry: built-ins, custom plug-ins, and the batch entry point."""
+
+import pytest
+import sympy
+
+from repro.analysis import (
+    AnalysisConfig,
+    Analyzer,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.polybench import get_kernel
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert "kpartition" in available_strategies()
+        assert "wavefront" in available_strategies()
+
+    def test_get_strategy_instantiates(self):
+        strategy = get_strategy("kpartition")
+        assert strategy.name == "kpartition"
+        assert callable(strategy.derive)
+
+    def test_unknown_strategy_lists_alternatives(self):
+        with pytest.raises(KeyError, match="kpartition"):
+            get_strategy("definitely-not-registered")
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate:
+            name = "kpartition"
+
+            def derive(self, dfg, config, instance, log):
+                return []
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_strategy(Duplicate)
+
+    def test_factory_without_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            register_strategy(lambda: None)
+
+
+class TestCustomStrategy:
+    def test_noop_strategy_plugs_into_the_driver(self):
+        """A registered no-op strategy runs through Analyzer unchanged: the
+        driver still combines sub-bounds and adds the compulsory misses."""
+
+        calls = []
+
+        class NoOpStrategy:
+            name = "test-noop"
+
+            def derive(self, dfg, config, instance, log):
+                calls.append(dfg.program.name)
+                log.append("noop: nothing derived")
+                return []
+
+        register_strategy(NoOpStrategy)
+        try:
+            program = get_kernel("gemm").program
+            result = Analyzer(AnalysisConfig(strategies=("test-noop",))).analyze(program)
+        finally:
+            unregister_strategy("test-noop")
+
+        assert calls == ["gemm"]
+        assert result.sub_bounds == []
+        assert "noop: nothing derived" in result.log
+        # No sub-bounds -> the bound degenerates to the compulsory input misses.
+        assert sympy.simplify(result.smooth - program.input_size()) == 0
+
+    def test_custom_strategy_composes_with_builtins(self):
+        class MarkerStrategy:
+            name = "test-marker"
+
+            def derive(self, dfg, config, instance, log):
+                log.append("marker ran")
+                return []
+
+        register_strategy(MarkerStrategy)
+        try:
+            config = AnalysisConfig(strategies=("kpartition", "test-marker"), max_depth=0)
+            result = Analyzer(config).analyze(get_kernel("gemm").program)
+        finally:
+            unregister_strategy("test-marker")
+
+        assert "marker ran" in result.log
+        assert any(b.method == "kpartition" for b in result.sub_bounds)
+
+    def test_kpartition_only_config_skips_wavefront(self):
+        program = get_kernel("durbin").program
+        full = Analyzer(AnalysisConfig(max_depth=1)).analyze(program)
+        kpart_only = Analyzer(
+            AnalysisConfig(max_depth=1, strategies=("kpartition",))
+        ).analyze(program)
+        assert any(b.method == "wavefront" for b in full.sub_bounds)
+        assert not any(b.method == "wavefront" for b in kpart_only.sub_bounds)
+
+
+class TestAnalyzeMany:
+    KERNELS = ["gemm", "atax", "mvt", "trisolv", "bicg"]
+
+    def test_parallel_matches_sequential(self):
+        """Acceptance: analyze_many over >= 5 PolyBench kernels with n_jobs=2
+        matches the sequential results."""
+        programs = [get_kernel(name).program for name in self.KERNELS]
+        sequential = Analyzer(AnalysisConfig(max_depth=0)).analyze_many(programs)
+        parallel = Analyzer(AnalysisConfig(max_depth=0, n_jobs=2)).analyze_many(programs)
+        assert [r.program_name for r in parallel] == [r.program_name for r in sequential]
+        for seq, par in zip(sequential, parallel):
+            assert sympy.simplify(seq.smooth - par.smooth) == 0
+            assert sympy.simplify(seq.asymptotic - par.asymptotic) == 0
+
+    def test_batch_preserves_input_order(self):
+        names = list(reversed(self.KERNELS))
+        programs = [get_kernel(name).program for name in names]
+        results = Analyzer(AnalysisConfig(max_depth=0)).analyze_many(programs)
+        assert [r.program_name for r in results] == names
+
+    def test_suite_honours_n_jobs_on_config(self):
+        """analyze_suite must not silently reset parallelism requested via
+        the config object (regression: the n_jobs parameter clobbered it)."""
+        from repro.analysis import AnalysisConfig
+        from repro.polybench import analyze_suite
+
+        analyses = analyze_suite(
+            self.KERNELS[:3], config=AnalysisConfig(max_depth=0, n_jobs=2)
+        )
+        assert [a.spec.name for a in analyses] == self.KERNELS[:3]
+        reference = analyze_suite(self.KERNELS[:3], max_depth=0)
+        for batch, ref in zip(analyses, reference):
+            assert sympy.simplify(batch.result.smooth - ref.result.smooth) == 0
+
+    def test_batch_uses_disk_cache(self, tmp_path):
+        programs = [get_kernel(name).program for name in self.KERNELS[:3]]
+        analyzer = Analyzer(AnalysisConfig(max_depth=0, cache_dir=tmp_path))
+        first = analyzer.analyze_many(programs)
+        assert len(list(tmp_path.glob("*.json"))) == 3
+        second = analyzer.analyze_many(programs)
+        for a, b in zip(first, second):
+            assert a.asymptotic == b.asymptotic
