@@ -31,6 +31,11 @@ def _example1():
     )
 
 
+# The three derivation benchmarks below are deliberately store-free: every
+# benchmark round must execute the full derivation, not a ~ms store hit
+# (warm-store latency has its own benchmark in bench_store.py).
+
+
 @pytest.mark.benchmark(group="examples")
 def test_example1_full_derivation(benchmark):
     """Fig. 1 / Sec. 5.3: the derived bound must be ~ M*N/S."""

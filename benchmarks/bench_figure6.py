@@ -41,11 +41,11 @@ SIMULATION_INSTANCES = {
 
 
 @pytest.mark.benchmark(group="figure6")
-def test_figure6_classification(benchmark):
+def test_figure6_classification(benchmark, bound_store):
     """Regenerate the Figure 6 classification table."""
 
     def build_rows():
-        analyses = analyze_suite(FIGURE6_KERNELS)
+        analyses = analyze_suite(FIGURE6_KERNELS, store=bound_store)
         return figure6_rows(
             analyses,
             simulate=True,

@@ -1,0 +1,75 @@
+"""Benchmark the persistent bound store: cold vs. warm suite runs.
+
+The headline property of the store-backed pipeline — a parametric bound is
+derived once, then reused by every later run — is demonstrated here on the
+full PolyBench suite: the cold pass populates a fresh store, the warm pass
+must perform **zero** derivations and come back an order of magnitude
+faster (it only reloads JSON entries and re-parses the sympy expressions).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import BoundStore, derivation_count, reset_derivation_count
+from repro.polybench import analyze_suite, kernel_names
+
+from conftest import write_markdown_table
+
+
+@pytest.mark.benchmark(group="store")
+def test_suite_warm_store_is_order_of_magnitude_faster(benchmark, tmp_path):
+    """Warm full-suite run: zero derivations, >= 10x faster than the cold run.
+
+    Uses the whole registered suite (not the fast subset): the store's value
+    shows on the expensive derivations, where reloading an entry costs
+    milliseconds against seconds of derivation.
+    """
+    store = BoundStore(tmp_path / "store")
+    names = kernel_names()
+
+    reset_derivation_count()
+    cold_start = time.perf_counter()
+    cold = analyze_suite(names, store=store)
+    cold_elapsed = time.perf_counter() - cold_start
+    cold_derivations = reset_derivation_count()
+    assert cold_derivations == len(names)
+
+    warm_start = time.perf_counter()
+    warm = benchmark.pedantic(
+        analyze_suite, args=(names,), kwargs={"store": store},
+        rounds=1, iterations=1,
+    )
+    warm_elapsed = time.perf_counter() - warm_start
+
+    assert derivation_count() == 0, "warm store run must not derive anything"
+    assert [a.result.asymptotic for a in warm] == [a.result.asymptotic for a in cold]
+    assert warm_elapsed * 10 <= cold_elapsed, (
+        f"warm run ({warm_elapsed:.3f}s) not >=10x faster than cold "
+        f"({cold_elapsed:.3f}s)"
+    )
+
+    write_markdown_table("store_cold_vs_warm", [{
+        "kernels": len(names),
+        "cold (s)": round(cold_elapsed, 3),
+        "warm (s)": round(warm_elapsed, 3),
+        "speedup": round(cold_elapsed / max(warm_elapsed, 1e-9), 1),
+        "warm derivations": derivation_count(),
+    }])
+
+
+@pytest.mark.benchmark(group="store-ops")
+def test_store_hit_latency(benchmark, tmp_path):
+    """Latency of a single store hit (read + schema check + deserialise)."""
+    from repro.polybench import analyze_kernel
+
+    store = BoundStore(tmp_path / "store")
+    analyze_kernel("gemm", store=store)  # populate
+    key_count = len(store)
+    assert key_count == 1
+
+    result = benchmark(analyze_kernel, "gemm", store=store)
+    assert result.result.asymptotic is not None
+    assert len(store) == key_count

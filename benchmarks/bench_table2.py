@@ -20,11 +20,11 @@ KERNELS = [
 
 
 @pytest.mark.benchmark(group="table2")
-def test_table2_formulae(benchmark):
+def test_table2_formulae(benchmark, bound_store):
     """Regenerate the complete + asymptotic formulae for a kernel subset."""
 
     def build_table():
-        return table2_rows(analyze_suite(KERNELS))
+        return table2_rows(analyze_suite(KERNELS, store=bound_store))
 
     rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
     path = write_markdown_table("table2", rows)
@@ -35,6 +35,7 @@ def test_table2_formulae(benchmark):
 @pytest.mark.benchmark(group="table2-single")
 @pytest.mark.parametrize("kernel", ["gemm", "cholesky", "jacobi-1d", "durbin"])
 def test_table2_single_formula(benchmark, kernel):
-    """Time formula extraction (derivation + simplification) per kernel."""
+    """Time formula extraction (derivation + simplification) per kernel —
+    store-free so every round measures the derivation, not a store hit."""
     analysis = benchmark(analyze_kernel, kernel)
     assert analysis.result.expression is not None

@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-iolb",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of IOLB (PLDI 2020): automated parametric I/O "
         "lower bounds and operational-intensity upper bounds for affine programs"
@@ -30,7 +30,7 @@ setup(
         "networkx",
     ],
     extras_require={
-        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "pytest-cov"],
     },
     entry_points={
         "console_scripts": [

@@ -14,19 +14,35 @@ Subcommands
 ``kernels``
     List the registered PolyBench kernels.
 
+``cache {stats,gc,clear}``
+    Maintain the shared persistent bound store (``$REPRO_STORE`` or
+    ``~/.cache/repro``): show layout/usage statistics, evict
+    least-recently-used entries down to a size budget, or drop everything.
+
 All derivation knobs map onto :class:`repro.analysis.AnalysisConfig` fields.
+``analyze`` and ``suite`` memoise through the shared bound store by default,
+so a warm second run performs zero derivations; ``--no-cache`` opts out and
+``--cache-dir`` redirects to a private store root.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
 import sympy
 
-from .analysis import AnalysisConfig, Analyzer, save_results
+from .analysis import (
+    AnalysisConfig,
+    Analyzer,
+    BoundStore,
+    derivation_count,
+    reset_derivation_count,
+    save_results,
+)
 from .polybench import all_kernels, analyze_suite, get_kernel, kernel_names
 
 
@@ -65,8 +81,21 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-validate-wavefront", action="store_true",
         help="skip the concrete validation of the wavefront hypothesis",
     )
-    group.add_argument("--cache-dir", default=None,
-                       help="directory for the on-disk result cache")
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="bound store root (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent bound store for this run",
+    )
+
+
+def _store_for(args: argparse.Namespace) -> BoundStore | None:
+    """The bound store a CLI run memoises through (None with ``--no-cache``)."""
+    if getattr(args, "no_cache", False):
+        return None
+    return BoundStore(args.cache_dir)  # None root -> $REPRO_STORE / ~/.cache/repro
 
 
 def _config_for(args: argparse.Namespace, spec_max_depth: int) -> AnalysisConfig:
@@ -74,7 +103,6 @@ def _config_for(args: argparse.Namespace, spec_max_depth: int) -> AnalysisConfig
         "max_depth": args.max_depth if args.max_depth is not None else spec_max_depth,
         "instance": _parse_instance(args.instance),
         "validate_wavefront": not args.no_validate_wavefront,
-        "cache_dir": args.cache_dir,
     }
     if args.gamma is not None:
         kwargs["gamma"] = args.gamma
@@ -92,7 +120,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
     spec = get_kernel(args.kernel)
     config = _config_for(args, spec.max_depth)
-    result = Analyzer(config).analyze(spec.program)
+    result = Analyzer(config, store=_store_for(args)).analyze(spec.program)
 
     if args.json is not None:
         payload = json.dumps(result.to_dict(), indent=2) + "\n"
@@ -127,7 +155,6 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     overrides: dict = {
         "instance": _parse_instance(args.instance),
         "validate_wavefront": not args.no_validate_wavefront,
-        "cache_dir": args.cache_dir,
     }
     if args.max_depth is not None:
         overrides["max_depth"] = args.max_depth
@@ -135,8 +162,18 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         overrides["gamma"] = args.gamma
     if args.strategies is not None:
         overrides["strategies"] = tuple(args.strategies)
-    analyses = analyze_suite(names, n_jobs=args.jobs, **overrides)
+
+    store = _store_for(args)
+    reset_derivation_count()
+    analyses = analyze_suite(names, n_jobs=args.jobs, store=store, **overrides)
     results = [analysis.result for analysis in analyses]
+
+    derived = derivation_count()
+    if store is not None:
+        # Session counters only — stats() would scan the whole store on disk.
+        print(f"derivations: {derived} (store hits: {store.hits}, root: {store.root})")
+    else:
+        print(f"derivations: {derived} (store disabled)")
 
     if args.json is not None:
         save_results(results, args.json)
@@ -154,6 +191,45 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 def _cmd_kernels(_args: argparse.Namespace) -> int:
     for spec in all_kernels():
         print(f"{spec.name:<16} {spec.category:<14} max_depth={spec.max_depth}")
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    stats = BoundStore(args.root).stats()
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2))
+        return 0
+    print(f"root        : {stats.root}")
+    print(f"entries     : {stats.entries} (in {stats.shards} shards)")
+    print(f"total bytes : {stats.total_bytes}")
+    budget = "unbounded" if stats.size_budget is None else str(stats.size_budget)
+    print(f"size budget : {budget}")
+    for schema, count in sorted(stats.schema_versions.items()):
+        label = "unreadable" if schema < 0 else f"schema {schema}"
+        print(f"  {label:<11}: {count} entries")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = BoundStore(args.root, size_budget=args.budget)
+    if store.size_budget is None:
+        raise SystemExit(
+            "cache gc needs a size budget: pass --budget (e.g. --budget 64M) "
+            "or set $REPRO_STORE_BUDGET"
+        )
+    evicted = store.gc()
+    stats = store.stats()
+    print(
+        f"evicted {evicted} entries; {stats.entries} remain "
+        f"({stats.total_bytes} bytes <= budget {store.size_budget})"
+    )
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = BoundStore(args.root)
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.root}")
     return 0
 
 
@@ -184,6 +260,36 @@ def build_parser() -> argparse.ArgumentParser:
     kernels = commands.add_parser("kernels", help="list registered kernels")
     kernels.set_defaults(handler=_cmd_kernels)
 
+    cache = commands.add_parser("cache", help="maintain the persistent bound store")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+
+    def _add_root_argument(subparser: argparse.ArgumentParser) -> None:
+        # On each subparser (not the parent) so the natural spelling
+        # `repro cache clear --root DIR` parses.
+        subparser.add_argument(
+            "--root", default=None, metavar="DIR",
+            help="store root (default: $REPRO_STORE or ~/.cache/repro)",
+        )
+
+    cache_stats = cache_commands.add_parser("stats", help="show store usage statistics")
+    _add_root_argument(cache_stats)
+    cache_stats.add_argument("--json", action="store_true", help="emit JSON")
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
+
+    cache_gc = cache_commands.add_parser(
+        "gc", help="evict least-recently-used entries down to a size budget"
+    )
+    _add_root_argument(cache_gc)
+    cache_gc.add_argument(
+        "--budget", default=None, metavar="SIZE",
+        help="size budget, e.g. 4096, 64M, 1G (default: $REPRO_STORE_BUDGET)",
+    )
+    cache_gc.set_defaults(handler=_cmd_cache_gc)
+
+    cache_clear = cache_commands.add_parser("clear", help="remove every store entry")
+    _add_root_argument(cache_clear)
+    cache_clear.set_defaults(handler=_cmd_cache_clear)
+
     return parser
 
 
@@ -191,6 +297,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro ... | head`): die quietly, and
+        # point stdout at /dev/null so interpreter shutdown stays silent too.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 120
     except (ValueError, KeyError, argparse.ArgumentTypeError) as error:
         # Configuration and lookup mistakes (bad gamma, unknown strategy,
         # malformed NAME=VALUE, ...) are user errors, not crashes: print the

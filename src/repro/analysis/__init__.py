@@ -12,6 +12,9 @@ kept for backward compatibility):
 * :class:`Analyzer` — ``analyze(program)`` for one program,
   ``analyze_many(programs)`` for batches with process fan-out and on-disk
   memoisation keyed by :func:`program_fingerprint`;
+* :class:`BoundStore` — the shared content-addressed persistent store behind
+  that memoisation (``$REPRO_STORE`` / ``~/.cache/repro``), with schema
+  negotiation, LRU eviction and ``stats``/``gc``/``clear`` maintenance;
 * :mod:`~repro.analysis.serialization` — JSON documents of many results
   (:func:`save_results` / :func:`load_results`).
 
@@ -24,7 +27,14 @@ Typical usage::
     print(result.asymptotic, result.oi_upper_bound())
 """
 
-from .analyzer import Analyzer, program_fingerprint, run_analysis
+from .analyzer import (
+    DERIVATION_VERSION,
+    Analyzer,
+    derivation_count,
+    program_fingerprint,
+    reset_derivation_count,
+    run_analysis,
+)
 from .config import (
     DEFAULT_CACHE_SIZE,
     DEFAULT_GAMMA,
@@ -38,6 +48,16 @@ from .serialization import (
     results_from_document,
     results_to_document,
     save_results,
+)
+from .store import (
+    BUDGET_ENV,
+    STORE_ENV,
+    STORE_SCHEMA,
+    BoundStore,
+    StoreStats,
+    default_store_root,
+    parse_size,
+    resolve_store,
 )
 from .strategies import (
     BoundStrategy,
@@ -53,19 +73,30 @@ from .strategies import (
 __all__ = [
     "AnalysisConfig",
     "Analyzer",
+    "BUDGET_ENV",
+    "BoundStore",
     "BoundStrategy",
     "DEFAULT_CACHE_SIZE",
     "DEFAULT_GAMMA",
     "DEFAULT_MAX_SUBCDAGS_PER_STATEMENT",
     "DEFAULT_PARAM_VALUE",
     "DEFAULT_STRATEGIES",
+    "DERIVATION_VERSION",
     "KPartitionStrategy",
+    "STORE_ENV",
+    "STORE_SCHEMA",
+    "StoreStats",
     "WavefrontStrategy",
     "available_strategies",
+    "default_store_root",
+    "derivation_count",
     "get_strategy",
     "load_results",
+    "parse_size",
     "program_fingerprint",
     "register_strategy",
+    "reset_derivation_count",
+    "resolve_store",
     "resolve_strategies",
     "results_from_document",
     "results_to_document",

@@ -3,8 +3,8 @@
 The analyzer separates *what* to derive (the strategies and knobs captured by
 :class:`~repro.analysis.config.AnalysisConfig`) from *how* the derivation is
 executed: one program (:meth:`Analyzer.analyze`), or a batch fanned out over
-worker processes with per-program disk memoisation
-(:meth:`Analyzer.analyze_many`).
+worker processes (:meth:`Analyzer.analyze_many`), in both cases memoised
+through a shared content-addressed :class:`~repro.analysis.store.BoundStore`.
 
 The legacy :func:`repro.core.iolb.derive_bounds` free function is now a thin
 wrapper over this class.
@@ -14,9 +14,6 @@ from __future__ import annotations
 
 import concurrent.futures
 import hashlib
-import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -26,7 +23,33 @@ from ..core.bounds import IOBoundResult, SubBound, asymptotic_leading
 from ..core.decomposition import combine_sub_q
 from ..ir import AffineProgram, DFG
 from .config import AnalysisConfig
+from .store import BoundStore, resolve_store
 from .strategies import resolve_strategies
+
+#: Version of the *derivation semantics*.  Bump it whenever an algorithm
+#: change (strategy logic, set counting, decomposition, simplification) can
+#: alter a derived bound: the version is folded into every store key, so a
+#: warm shared store never serves results computed by older, differently-
+#: behaving code.  (2: the nested-case-split counting fix in repro.sets.)
+DERIVATION_VERSION = 2
+
+#: Process-wide count of full derivations actually executed (store hits do
+#: not count).  Lets suites, benchmarks and tests assert that a warm store
+#: run performs *zero* derivations.
+_derivations = 0
+
+
+def derivation_count() -> int:
+    """Number of full derivations run in this process since the last reset."""
+    return _derivations
+
+
+def reset_derivation_count() -> int:
+    """Reset the process-wide derivation counter; returns the prior count."""
+    global _derivations
+    previous = _derivations
+    _derivations = 0
+    return previous
 
 
 def program_fingerprint(program: AffineProgram) -> str:
@@ -67,6 +90,8 @@ def run_analysis(program: AffineProgram, config: AnalysisConfig) -> IOBoundResul
 
         Q_low  =  |inputs|  +  max(0, combined sub-bounds).
     """
+    global _derivations
+    _derivations += 1
     strategies = resolve_strategies(config.strategies)
     dfg = DFG.from_program(program)
     instance = config.heuristic_instance(program.params)
@@ -116,13 +141,22 @@ class Analyzer:
         result = analyzer.analyze(program)
         results = analyzer.analyze_many(programs)   # fans out when n_jobs > 1
 
-    With ``config.cache_dir`` set, results are memoised on disk keyed by the
-    program fingerprint and the result-relevant part of the configuration, so
-    repeated suite runs and multi-process batches skip finished derivations.
+    With a :class:`~repro.analysis.store.BoundStore` attached (an explicit
+    ``store=`` argument, or ``config.cache_dir`` as a thin alias for a store
+    rooted there), results are memoised on disk keyed by the program
+    fingerprint and the result-relevant part of the configuration, so
+    repeated suite runs, benchmarks and multi-process batches skip finished
+    derivations entirely.  Pass ``store=BoundStore()`` to share the default
+    per-user store (``$REPRO_STORE`` or ``~/.cache/repro``).
     """
 
-    def __init__(self, config: AnalysisConfig | None = None):
+    def __init__(
+        self,
+        config: AnalysisConfig | None = None,
+        store: BoundStore | str | Path | None = None,
+    ):
         self.config = config if config is not None else AnalysisConfig()
+        self.store = resolve_store(store, self.config.cache_dir)
 
     # -- single-program entry point -----------------------------------------
 
@@ -142,7 +176,10 @@ class Analyzer:
 
         With ``config.n_jobs > 1`` the uncached derivations are fanned out
         over a process pool; cached results are returned without spawning
-        workers.  The output list is index-aligned with ``programs``.
+        workers.  The output list is index-aligned with ``programs`` — every
+        program yields exactly one result, and a derivation that silently
+        produces nothing raises :class:`RuntimeError` rather than shifting
+        later results onto earlier slots.
         """
         batch: Sequence[AffineProgram] = list(programs)
         results: list[IOBoundResult | None] = [None] * len(batch)
@@ -156,71 +193,76 @@ class Analyzer:
                 pending.append(index)
 
         if pending:
-            workers = min(self.config.n_jobs, len(pending))
+            # Duplicate programs (same store key) share one derivation: the
+            # result is fanned out to every index that asked for it.
+            by_key: dict[str, list[int]] = {}
+            for index in pending:
+                by_key.setdefault(self.cache_key(batch[index]), []).append(index)
+            groups = list(by_key.values())
+
+            workers = min(self.config.n_jobs, len(groups))
             if workers <= 1:
-                for index in pending:
-                    results[index] = run_analysis(batch[index], self.config)
-                    self._cache_store(batch[index], results[index])
+                for indices in groups:
+                    result = run_analysis(batch[indices[0]], self.config)
+                    self._cache_store(batch[indices[0]], result)
+                    for index in indices:
+                        results[index] = result
             else:
+                global _derivations
                 # Workers only need the result-relevant knobs; stripping the
                 # executor fields keeps the pickled payload lean and stops a
                 # worker from ever re-entering the pool or the cache.
                 worker_config = self.config.replace(n_jobs=1, cache_dir=None)
                 with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
-                        pool.submit(_analyze_for_pool, (batch[index], worker_config)): index
-                        for index in pending
+                        pool.submit(
+                            _analyze_for_pool, (batch[indices[0]], worker_config)
+                        ): indices
+                        for indices in groups
                     }
                     for future in concurrent.futures.as_completed(futures):
-                        index = futures[future]
-                        results[index] = future.result()
-                        self._cache_store(batch[index], results[index])
+                        indices = futures[future]
+                        result = future.result()
+                        # The worker ran run_analysis in its own process, so
+                        # account for the derivation here, in the requester.
+                        _derivations += 1
+                        self._cache_store(batch[indices[0]], result)
+                        for index in indices:
+                            results[index] = result
 
-        return [result for result in results if result is not None]
+        missing = [index for index, result in enumerate(results) if result is None]
+        if missing:
+            names = [batch[index].name for index in missing]
+            raise RuntimeError(
+                f"analyze_many produced no result for programs at indices {missing} "
+                f"({names}); refusing to return a misaligned batch"
+            )
+        return results
 
-    # -- disk cache -----------------------------------------------------------
+    # -- persistent store ------------------------------------------------------
 
     def cache_key(self, program: AffineProgram) -> str:
-        """Cache key: program fingerprint x result-relevant config signature."""
+        """Store key: program fingerprint x config signature x semantics version.
+
+        The derivation version guards correctness across upgrades: a bound
+        derived by older code with different semantics keys differently and
+        is simply never found, forcing a fresh derivation.
+        """
         config_digest = hashlib.sha256(
-            repr(self.config.signature()).encode("utf-8")
+            f"v{DERIVATION_VERSION}:{self.config.signature()!r}".encode("utf-8")
         ).hexdigest()
         return f"{program_fingerprint(program)}-{config_digest[:16]}"
 
-    def _cache_path(self, program: AffineProgram) -> Path | None:
-        if self.config.cache_dir is None:
-            return None
-        return Path(self.config.cache_dir) / f"{self.cache_key(program)}.json"
-
     def _cache_load(self, program: AffineProgram) -> IOBoundResult | None:
-        path = self._cache_path(program)
-        if path is None or not path.exists():
+        if self.store is None:
             return None
-        try:
-            data = json.loads(path.read_text())
-            return IOBoundResult.from_dict(data)
-        except (ValueError, KeyError, json.JSONDecodeError):
-            # A truncated or stale-schema entry is treated as a miss; it will
-            # be overwritten by the fresh result below.
-            return None
+        return self.store.get(self.cache_key(program))
 
     def _cache_store(self, program: AffineProgram, result: IOBoundResult | None) -> None:
-        path = self._cache_path(program)
-        if path is None or result is None:
+        if self.store is None or result is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so concurrent analyzers never read a half-written
-        # entry (os.replace is atomic within one filesystem).
-        handle, temp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=path.stem, suffix=".tmp"
+        self.store.put(
+            self.cache_key(program),
+            result,
+            metadata={"config_signature": repr(self.config.signature())},
         )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                json.dump(result.to_dict(), stream)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise

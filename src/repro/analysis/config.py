@@ -73,8 +73,12 @@ class AnalysisConfig:
         Process-level parallelism of :meth:`Analyzer.analyze_many`.  1 means
         sequential in-process execution.
     cache_dir:
-        Directory for the on-disk result cache (memoised by program
-        fingerprint + config signature).  None disables caching.
+        Thin alias for a result store: when set, the
+        :class:`~repro.analysis.Analyzer` memoises through a
+        :class:`~repro.analysis.store.BoundStore` rooted at this directory
+        (keyed by program fingerprint + config signature).  None means no
+        implicit store — pass ``store=`` to the analyzer to use one (e.g.
+        the shared default under ``$REPRO_STORE`` / ``~/.cache/repro``).
     """
 
     instance: Mapping[str, int] | None = None

@@ -1,0 +1,447 @@
+"""Content-addressed, shared, persistent store of derived I/O bounds.
+
+The paper's value proposition is that a parametric bound is derived *once*
+per program and then reused forever; :class:`BoundStore` is the subsystem
+that makes the "forever" part real.  It replaces the ad-hoc flat-directory
+JSON cache of the first ``Analyzer`` iteration with a first-class store:
+
+* **content-addressed layout** — entries live at
+  ``<root>/objects/<2-hex-shard>/<key>.json`` where the key is the program
+  fingerprint crossed with the result-relevant config signature, so the same
+  derivation is found by every process, suite run and machine sharing the
+  root;
+* **shared default root** — ``$REPRO_STORE`` when set, otherwise
+  ``~/.cache/repro`` (the per-user XDG-style location), so suites,
+  benchmarks and services all hit one store without any configuration;
+* **schema negotiation** — every entry is a versioned envelope.  The older
+  flat layout (``<root>/<key>.json`` bare-result files) is still read and
+  transparently migrated into shards *when the key still matches* — note
+  that results derived under an older ``DERIVATION_VERSION`` key differently
+  on purpose (their semantics may differ) and are simply re-derived, never
+  served; entries written by a *newer* library version are treated as misses
+  and are not overwritten (a check-then-replace guard: best-effort under
+  mixed-version writers racing on one key, absolute otherwise);
+* **eviction** — :meth:`BoundStore.gc` enforces a size budget by evicting
+  least-recently-used entries (access times are bumped on every hit, so the
+  policy works on ``noatime`` mounts too);
+* **concurrent-writer safety** — writes go through a temporary file in the
+  destination shard followed by an atomic :func:`os.replace`; readers treat
+  missing, truncated or unparseable entries as misses, so any number of
+  writers and readers can share a store without locks.
+
+Maintenance is exposed programmatically (:meth:`stats`, :meth:`gc`,
+:meth:`clear`) and on the command line::
+
+    python -m repro cache stats
+    python -m repro cache gc --budget 64M
+    python -m repro cache clear
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..core.bounds import IOBoundResult
+
+#: Environment variable naming the default store root.
+STORE_ENV = "REPRO_STORE"
+
+#: Environment variable holding the default size budget (e.g. ``256M``).
+BUDGET_ENV = "REPRO_STORE_BUDGET"
+
+#: Version of the on-disk entry envelope written by this library.  Entries
+#: with a *larger* ``store_schema`` come from a newer library: they are
+#: reported as misses and never overwritten.  Entries with no envelope at all
+#: (bare ``IOBoundResult.to_dict()`` payloads, the legacy flat-cache format)
+#: are read as "schema 0" and migrated into the envelope on first hit.
+STORE_SCHEMA = 1
+
+_SIZE_SUFFIXES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+
+#: Shape of a store key (and of a legacy flat entry's stem): the 64-hex
+#: program fingerprint crossed with the 16-hex config digest.  The legacy
+#: sweep in :meth:`BoundStore.clear` only touches files matching this, so a
+#: root that also holds unrelated JSON (exported suite documents, notes)
+#: never loses them.
+_KEY_PATTERN = re.compile(r"[0-9a-f]{64}-[0-9a-f]{16}")
+
+#: With a size budget configured, ``put`` triggers a full ``gc`` sweep only
+#: every this many writes — a sweep walks and stats the whole store, so
+#: running it per write would make batch derivation quadratic in store size.
+GC_WRITE_INTERVAL = 8
+
+
+def default_store_root() -> Path:
+    """The shared store root: ``$REPRO_STORE`` or ``~/.cache/repro``."""
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def parse_size(text: str | int | None) -> int | None:
+    """Parse a human-readable size (``"64M"``, ``"1G"``, ``4096``) to bytes."""
+    if text is None:
+        return None
+    if isinstance(text, int):
+        return text
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([KMGT]?)I?B?\s*", text.upper())
+    if match is None:
+        raise ValueError(f"cannot parse size {text!r} (expected e.g. 4096, 64M, 1G)")
+    return int(float(match.group(1)) * _SIZE_SUFFIXES[match.group(2)])
+
+
+def _default_budget() -> int | None:
+    env = os.environ.get(BUDGET_ENV)
+    return parse_size(env) if env else None
+
+
+@dataclass
+class StoreStats:
+    """Snapshot of a store's on-disk state plus this process's session counters."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    shards: int = 0
+    schema_versions: dict[int, int] = field(default_factory=dict)
+    size_budget: int | None = None
+    #: Session counters (this BoundStore instance, this process only).
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "shards": self.shards,
+            "schema_versions": {str(k): v for k, v in sorted(self.schema_versions.items())},
+            "size_budget": self.size_budget,
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "evictions": self.evictions,
+            },
+        }
+
+
+class BoundStore:
+    """Content-addressed persistent store of :class:`IOBoundResult` entries.
+
+    Parameters
+    ----------
+    root:
+        Store root directory.  ``None`` resolves the shared default
+        (``$REPRO_STORE`` or ``~/.cache/repro``).
+    size_budget:
+        Byte budget enforced by :meth:`gc` (and opportunistically after every
+        write).  ``None`` reads ``$REPRO_STORE_BUDGET``; when that is unset
+        too, the store is unbounded until :meth:`gc` is called with an
+        explicit budget.  Accepts ints or human-readable strings (``"64M"``).
+    """
+
+    def __init__(self, root: str | Path | None = None, size_budget: int | str | None = None):
+        self.root = Path(root).expanduser() if root is not None else default_store_root()
+        self.size_budget = parse_size(size_budget) if size_budget is not None else _default_budget()
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+        self._evictions = 0
+        self._writes_since_gc = 0
+
+    # Session counters: cheap accessors (no disk I/O — unlike stats()).
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def writes(self) -> int:
+        return self._writes
+
+    # -- layout ---------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of an entry: ``objects/<first-2-hex>/<key>.json``."""
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    def _legacy_path(self, key: str) -> Path:
+        """Pre-store flat layout (``<root>/<key>.json``), still read-supported."""
+        return self.root / f"{key}.json"
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.objects_dir.is_dir():
+            return
+        for shard in sorted(self.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    # -- read path ------------------------------------------------------------
+
+    def get(self, key: str) -> IOBoundResult | None:
+        """Look up a result; any unreadable or foreign entry is a miss."""
+        path = self.path_for(key)
+        payload = _read_json(path)
+        if payload is None:
+            legacy = _read_json(self._legacy_path(key))
+            if legacy is not None:
+                result = _result_from_payload(legacy, schema=0)
+                if result is not None:
+                    # Migrate the legacy flat entry into the sharded layout so
+                    # the next reader finds it in one probe; the old file is
+                    # left alone (another process may be mid-read on it).
+                    self.put(key, result)
+                    self._hits += 1
+                    return result
+            self._misses += 1
+            return None
+        schema = _entry_schema(payload)
+        result = _result_from_payload(payload, schema)
+        if result is None:
+            self._misses += 1
+            return None
+        _touch(path)  # bump atime explicitly: LRU works on noatime mounts
+        self._hits += 1
+        return result
+
+    def contains(self, key: str) -> bool:
+        path = self.path_for(key)
+        if path.exists():
+            return True
+        return self._legacy_path(key).exists()
+
+    # -- write path -----------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        result: IOBoundResult,
+        metadata: Mapping[str, object] | None = None,
+    ) -> Path | None:
+        """Write an entry atomically; best-effort, never required to succeed.
+
+        Returns the entry path, or ``None`` when the write was skipped:
+        either a newer library version already owns the slot (the guard is
+        check-then-replace, so under concurrent mixed-version writers racing
+        on one key it is best-effort rather than atomic), or the store root
+        is not writable (e.g. a read-only replica) — the store degrades to
+        read-only rather than failing the caller's derivation.
+        """
+        path = self.path_for(key)
+        existing = _read_json(path)
+        if existing is not None and _entry_schema(existing) > STORE_SCHEMA:
+            return None
+        envelope: dict = {
+            "store_schema": STORE_SCHEMA,
+            "key": key,
+            "program": result.program_name,
+            "result": result.to_dict(),
+        }
+        if metadata:
+            envelope["metadata"] = dict(metadata)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Write-then-rename in the destination directory so concurrent
+            # writers and readers never observe a half-written entry.
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".put-", suffix=".tmp"
+            )
+        except OSError:
+            return None
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(envelope, stream)
+            os.replace(temp_name, path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            return None
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._writes += 1
+        if self.size_budget is not None:
+            # Amortised budget enforcement: a gc sweep walks the whole store,
+            # so it runs every GC_WRITE_INTERVAL writes, not per write.
+            self._writes_since_gc += 1
+            if self._writes_since_gc >= GC_WRITE_INTERVAL:
+                self.gc()
+        return path
+
+    # -- maintenance ----------------------------------------------------------
+
+    def stats(self) -> StoreStats:
+        """On-disk totals plus this instance's session hit/miss counters."""
+        stats = StoreStats(
+            root=str(self.root),
+            size_budget=self.size_budget,
+            hits=self._hits,
+            misses=self._misses,
+            writes=self._writes,
+            evictions=self._evictions,
+        )
+        shards = set()
+        for path in self._entries():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # evicted by a concurrent gc
+            stats.entries += 1
+            stats.total_bytes += size
+            shards.add(path.parent.name)
+            payload = _read_json(path)
+            schema = -1 if payload is None else _entry_schema(payload)
+            stats.schema_versions[schema] = stats.schema_versions.get(schema, 0) + 1
+        stats.shards = len(shards)
+        return stats
+
+    def gc(self, size_budget: int | str | None = None) -> int:
+        """Evict least-recently-used entries until the store fits the budget.
+
+        Returns the number of evicted entries.  With no budget (neither here,
+        nor on the store, nor in ``$REPRO_STORE_BUDGET``) this is a no-op.
+        """
+        budget = parse_size(size_budget) if size_budget is not None else self.size_budget
+        self._writes_since_gc = 0
+        if budget is None:
+            return 0
+        records = []
+        total = 0
+        for path in self._entries():
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            records.append((info.st_atime, info.st_size, path))
+            total += info.st_size
+        records.sort(key=lambda record: record[0])
+        evicted = 0
+        for _atime, size, path in records:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # lost a race with another gc; recount conservatively
+            total -= size
+            evicted += 1
+        self._evictions += evicted
+        return evicted
+
+    def clear(self) -> int:
+        """Remove every entry (sharded and legacy); returns the count removed.
+
+        Only files that look like store entries are touched: the legacy
+        sweep matches the key pattern, so unrelated JSON living at the root
+        (e.g. a ``suite --json`` export) survives.
+        """
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                if not _KEY_PATTERN.fullmatch(path.stem):
+                    continue
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def __repr__(self) -> str:
+        budget = "unbounded" if self.size_budget is None else f"{self.size_budget}B"
+        return f"BoundStore({str(self.root)!r}, {budget})"
+
+
+def resolve_store(store: "BoundStore | str | Path | None", cache_dir: str | Path | None = None) -> "BoundStore | None":
+    """Normalise the ways callers can name a store.
+
+    Explicit :class:`BoundStore` instances pass through; strings/paths become
+    a store rooted there; ``None`` falls back to ``cache_dir`` (the
+    :class:`~repro.analysis.config.AnalysisConfig` alias) or, when that is
+    unset too, to no store at all.
+    """
+    if isinstance(store, BoundStore):
+        return store
+    if store is not None:
+        return BoundStore(store)
+    if cache_dir is not None:
+        return BoundStore(cache_dir)
+    return None
+
+
+# -- entry parsing helpers ----------------------------------------------------
+
+
+def _read_json(path: Path) -> dict | None:
+    """Best-effort JSON read: missing/truncated/non-dict files are ``None``."""
+    try:
+        with open(path, "r") as stream:
+            payload = json.load(stream)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _entry_schema(payload: Mapping) -> int:
+    """Envelope version of an entry payload (0 for legacy bare results)."""
+    schema = payload.get("store_schema", 0)
+    return schema if isinstance(schema, int) else 0
+
+
+def _result_from_payload(payload: Mapping, schema: int) -> IOBoundResult | None:
+    """Decode an entry according to its negotiated schema version.
+
+    * schema 0 — the payload *is* a bare ``IOBoundResult.to_dict()`` (the
+      legacy flat cache format);
+    * schema 1 — the current envelope, result under ``"result"``;
+    * anything newer — unknown on purpose: report a miss, never guess.
+    """
+    if schema > STORE_SCHEMA:
+        return None
+    body = payload if schema == 0 else payload.get("result")
+    if not isinstance(body, Mapping):
+        return None
+    try:
+        return IOBoundResult.from_dict(body)
+    except (KeyError, ValueError, TypeError):
+        return None
+
+
+def _touch(path: Path) -> None:
+    try:
+        os.utime(path)
+    except OSError:
+        pass

@@ -17,7 +17,7 @@ from typing import Iterable, Mapping
 
 import sympy
 
-from ..analysis import AnalysisConfig, Analyzer
+from ..analysis import AnalysisConfig, Analyzer, BoundStore
 from ..core import (
     IOBoundResult,
     PAPER_CACHE_WORDS,
@@ -56,31 +56,39 @@ def _kernel_config(spec: KernelSpec, config: AnalysisConfig | None, **kwargs) ->
 
 
 def analyze_kernel(
-    name: str, config: AnalysisConfig | None = None, **kwargs
+    name: str,
+    config: AnalysisConfig | None = None,
+    store: BoundStore | None = None,
+    **kwargs,
 ) -> KernelAnalysis:
     """Run the IOLB derivation on one PolyBench kernel.
 
     Without arguments the kernel's registered wavefront depth is used; pass
     an :class:`~repro.analysis.AnalysisConfig` (or individual config fields
-    as keyword arguments, e.g. ``gamma=0.5``) to override.
+    as keyword arguments, e.g. ``gamma=0.5``) to override.  A
+    :class:`~repro.analysis.BoundStore` makes the derivation persistent:
+    a kernel already in the store is never re-derived.
     """
     spec = get_kernel(name)
-    result = Analyzer(_kernel_config(spec, config, **kwargs)).analyze(spec.program)
-    return KernelAnalysis(spec=spec, result=result)
+    analyzer = Analyzer(_kernel_config(spec, config, **kwargs), store=store)
+    return KernelAnalysis(spec=spec, result=analyzer.analyze(spec.program))
 
 
 def analyze_suite(
     names: Iterable[str] | None = None,
     config: AnalysisConfig | None = None,
     n_jobs: int | None = None,
+    store: BoundStore | None = None,
     **kwargs,
 ) -> list[KernelAnalysis]:
     """Run the derivation over the whole suite (or a subset).
 
     Kernels sharing an analysis configuration are batched through
     :meth:`Analyzer.analyze_many`, so ``n_jobs > 1`` (given here or on
-    ``config``) fans the derivations out over worker processes and
-    ``config.cache_dir`` memoises them on disk.
+    ``config``) fans the derivations out over worker processes.  Passing a
+    :class:`~repro.analysis.BoundStore` (or setting ``config.cache_dir``)
+    memoises every derivation persistently — a warm second suite run does
+    zero derivations.
     """
     specs = all_kernels() if names is None else [get_kernel(n) for n in names]
     by_signature: dict[tuple, tuple[AnalysisConfig, list[KernelSpec]]] = {}
@@ -93,7 +101,9 @@ def analyze_suite(
 
     analyses: dict[str, KernelAnalysis] = {}
     for kernel_config, group in by_signature.values():
-        results = Analyzer(kernel_config).analyze_many([s.program for s in group])
+        results = Analyzer(kernel_config, store=store).analyze_many(
+            [s.program for s in group]
+        )
         for spec, result in zip(group, results):
             analyses[spec.name] = KernelAnalysis(spec=spec, result=result)
     return [analyses[spec.name] for spec in specs]

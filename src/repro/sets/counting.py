@@ -233,6 +233,25 @@ def _count(
             constraints, dims, weight, split_depth, split_conditions, pair
         )
 
+    if split_conditions:
+        # Inside a split branch the interval [lower, upper] may be empty over
+        # part of the outer domain even when the original set is non-empty
+        # pointwise (the branch condition itself carves such regions out).
+        # Summing there would *subtract* phantom points, so the summation
+        # must be guarded by its own non-emptiness condition: decide it when
+        # possible, otherwise carry ``upper >= lower`` as a further split
+        # condition restricting the outer dimensions.
+        outer = remaining + remaining_splits
+        names = sorted(
+            {n for c in outer for n in c.expr.names()}
+            | set(lower.names()) | set(upper.names())
+        )
+        gap = Constraint(upper - lower, GE)
+        if not is_rationally_empty(outer + [Constraint(lower - upper - 1, GE)], names):
+            if is_rationally_empty(outer + [gap], names):
+                return sympy.Integer(0)
+            remaining_splits = remaining_splits + [gap]
+
     x = sym(dim)
     length_sum = sympy.summation(weight, (x, lin_to_sympy(lower), lin_to_sympy(upper)))
     return _count(

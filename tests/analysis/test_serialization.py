@@ -119,7 +119,7 @@ class TestFingerprintAndCache:
         spec = get_kernel("gemm")
         analyzer = Analyzer(AnalysisConfig(max_depth=0, cache_dir=tmp_path))
         first = analyzer.analyze(spec.program)
-        assert list(tmp_path.glob("*.json"))
+        assert list(tmp_path.glob("objects/*/*.json"))
         second = analyzer.analyze(spec.program)
         assert second.smooth == first.smooth
         assert second.asymptotic == first.asymptotic
@@ -134,7 +134,7 @@ class TestFingerprintAndCache:
         spec = get_kernel("gemm")
         analyzer = Analyzer(AnalysisConfig(max_depth=0, cache_dir=tmp_path))
         fresh = analyzer.analyze(spec.program)
-        (entry,) = tmp_path.glob("*.json")
+        (entry,) = tmp_path.glob("objects/*/*.json")
         entry.write_text("{ not json")
         again = analyzer.analyze(spec.program)
         assert again.smooth == fresh.smooth

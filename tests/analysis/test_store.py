@@ -1,0 +1,404 @@
+"""Tests for the content-addressed persistent bound store.
+
+Covers the acceptance properties of the store subsystem: sharded layout and
+key addressing, the ``$REPRO_STORE`` environment override, schema-version
+negotiation (legacy entries readable, newer entries never corrupted),
+corrupted/truncated entries as misses, LRU-by-atime eviction under a size
+budget, survival under concurrent writer processes, and the CLI maintenance
+subcommands (``python -m repro cache {stats,gc,clear}``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import time
+
+import pytest
+import sympy
+
+from repro.__main__ import main as cli_main
+from repro.analysis import (
+    AnalysisConfig,
+    Analyzer,
+    BoundStore,
+    derivation_count,
+    parse_size,
+    reset_derivation_count,
+)
+from repro.analysis.store import STORE_SCHEMA, default_store_root
+from repro.core.bounds import IOBoundResult
+from repro.sets import sym
+
+
+def make_result(name: str = "prog", value: int = 1) -> IOBoundResult:
+    """A small, fully valid result (cheap to build, no derivation needed)."""
+    n = sym("N")
+    expr = sympy.Integer(value) * n
+    return IOBoundResult(
+        program_name=name,
+        parameters=("N",),
+        expression=expr,
+        smooth=expr,
+        asymptotic=expr,
+        input_size=n,
+        total_flops=2 * n,
+        sub_bounds=[],
+        log=[f"value={value}"],
+    )
+
+
+KEY = "aa" + "0" * 62 + "-cafebabecafebabe"
+
+
+class TestLayoutAndRoundtrip:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = BoundStore(tmp_path)
+        result = make_result("gemm-like", 3)
+        path = store.put(KEY, result)
+        assert path == tmp_path / "objects" / KEY[:2] / f"{KEY}.json"
+        assert path.exists()
+        loaded = store.get(KEY)
+        assert loaded is not None
+        assert loaded.program_name == "gemm-like"
+        assert loaded.smooth == result.smooth
+
+    def test_entries_are_sharded_by_key_prefix(self, tmp_path):
+        store = BoundStore(tmp_path)
+        keys = [f"{i:02x}" + "0" * 62 for i in range(16)]
+        for i, key in enumerate(keys):
+            store.put(key, make_result(f"p{i}", i + 1))
+        shards = {p.parent.name for p in (tmp_path / "objects").glob("*/*.json")}
+        assert shards == {key[:2] for key in keys}
+        assert len(store) == 16
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = BoundStore(tmp_path)
+        assert store.get(KEY) is None
+        stats = store.stats()
+        assert stats.misses == 1 and stats.hits == 0
+
+
+class TestEnvironmentOverride:
+    def test_repro_store_env_sets_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "shared"))
+        assert default_store_root() == tmp_path / "shared"
+        store = BoundStore()
+        store.put(KEY, make_result())
+        assert (tmp_path / "shared" / "objects" / KEY[:2] / f"{KEY}.json").exists()
+
+    def test_default_root_without_env_is_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        root = default_store_root()
+        assert root.name == "repro" and root.parent.name == ".cache"
+
+    def test_budget_env_is_parsed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BUDGET", "2K")
+        assert BoundStore(tmp_path).size_budget == 2048
+
+    def test_parse_size_units(self):
+        assert parse_size(4096) == 4096
+        assert parse_size("4096") == 4096
+        assert parse_size("64M") == 64 * 1024**2
+        assert parse_size("1.5K") == 1536
+        assert parse_size("2GiB") == 2 * 1024**3
+        assert parse_size(None) is None
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+
+class TestSchemaNegotiation:
+    def test_legacy_flat_entry_is_read_and_migrated(self, tmp_path):
+        # The pre-store Analyzer cache wrote bare result dicts at the root.
+        result = make_result("legacy", 7)
+        (tmp_path / f"{KEY}.json").write_text(json.dumps(result.to_dict()))
+        store = BoundStore(tmp_path)
+        loaded = store.get(KEY)
+        assert loaded is not None and loaded.program_name == "legacy"
+        # Migrated into the sharded layout; the legacy file is left in place
+        # for concurrent readers of the old layout.
+        assert store.path_for(KEY).exists()
+        assert (tmp_path / f"{KEY}.json").exists()
+
+    def test_newer_schema_entry_is_a_miss(self, tmp_path):
+        store = BoundStore(tmp_path)
+        store.path_for(KEY).parent.mkdir(parents=True)
+        store.path_for(KEY).write_text(
+            json.dumps({"store_schema": STORE_SCHEMA + 1, "payload": "from the future"})
+        )
+        assert store.get(KEY) is None
+
+    def test_newer_schema_entry_is_never_overwritten(self, tmp_path):
+        store = BoundStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        future = {"store_schema": STORE_SCHEMA + 1, "payload": "from the future"}
+        path.write_text(json.dumps(future))
+        assert store.put(KEY, make_result()) is None
+        assert json.loads(path.read_text()) == future
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",                                  # truncated to nothing
+            '{"store_schema": 1, "result": ',    # truncated mid-write
+            "{ not json at all",                 # garbage
+            '"a json string, not an object"',    # wrong JSON shape
+            '{"store_schema": 1, "result": {"program_name": "x"}}',  # missing fields
+            "[1, 2, 3]",                         # wrong container
+        ],
+    )
+    def test_corrupted_entries_are_misses(self, tmp_path, content):
+        store = BoundStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(content)
+        assert store.get(KEY) is None
+
+    def test_corrupted_entry_is_replaced_by_fresh_put(self, tmp_path):
+        store = BoundStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json")
+        assert store.get(KEY) is None
+        store.put(KEY, make_result("fresh"))
+        assert store.get(KEY).program_name == "fresh"
+
+
+class TestReadOnlyStore:
+    def test_put_degrades_to_noop_when_root_is_unwritable(self, tmp_path, monkeypatch):
+        store = BoundStore(tmp_path)
+
+        def denied(*args, **kwargs):
+            raise PermissionError("read-only store root")
+
+        monkeypatch.setattr("repro.analysis.store.tempfile.mkstemp", denied)
+        assert store.put(KEY, make_result()) is None  # no exception escapes
+
+    def test_legacy_hit_on_readonly_root_still_returns_the_result(
+        self, tmp_path, monkeypatch
+    ):
+        # A read-only replica holding only legacy flat entries: the migration
+        # write inside get() must not turn the hit into a crash.
+        result = make_result("legacy-ro", 5)
+        (tmp_path / f"{KEY}.json").write_text(json.dumps(result.to_dict()))
+        store = BoundStore(tmp_path)
+
+        def denied(*args, **kwargs):
+            raise PermissionError("read-only store root")
+
+        monkeypatch.setattr("repro.analysis.store.tempfile.mkstemp", denied)
+        loaded = store.get(KEY)
+        assert loaded is not None and loaded.program_name == "legacy-ro"
+
+
+class TestEvictionAndMaintenance:
+    def _fill(self, store: BoundStore, count: int) -> list[str]:
+        keys = [f"{i:02x}" + "f" * 62 for i in range(count)]
+        now = time.time()
+        for i, key in enumerate(keys):
+            path = store.put(key, make_result(f"p{i}", i + 1))
+            # Spread access times one minute apart, oldest first, so the LRU
+            # order is unambiguous regardless of filesystem atime behavior.
+            os.utime(path, (now - 60 * (count - i), now - 60 * (count - i)))
+        return keys
+
+    def test_gc_enforces_size_budget_evicting_lru_first(self, tmp_path):
+        store = BoundStore(tmp_path)
+        keys = self._fill(store, 10)
+        entry_size = store.path_for(keys[0]).stat().st_size
+        budget = int(entry_size * 4.5)  # room for 4 entries
+        evicted = store.gc(budget)
+        assert evicted == 6
+        stats = store.stats()
+        assert stats.entries == 4
+        assert stats.total_bytes <= budget
+        # The oldest-atime entries went first; the most recent four survive.
+        survivors = {p.stem for p in (tmp_path / "objects").glob("*/*.json")}
+        assert survivors == set(keys[-4:])
+
+    def test_recently_read_entries_survive_gc(self, tmp_path):
+        store = BoundStore(tmp_path)
+        keys = self._fill(store, 6)
+        assert store.get(keys[0]) is not None  # hit bumps atime
+        entry_size = store.path_for(keys[0]).stat().st_size
+        store.gc(int(entry_size * 2.5))
+        survivors = {p.stem for p in (tmp_path / "objects").glob("*/*.json")}
+        assert keys[0] in survivors
+
+    def test_gc_without_budget_is_noop(self, tmp_path):
+        store = BoundStore(tmp_path)
+        self._fill(store, 3)
+        assert store.gc() == 0
+        assert len(store) == 3
+
+    def test_put_triggers_gc_when_budget_configured(self, tmp_path):
+        entry_size = None
+        probe = BoundStore(tmp_path / "probe")
+        entry_size = probe.put("aa" + "0" * 62, make_result()).stat().st_size
+        store = BoundStore(tmp_path, size_budget=entry_size * 3)
+        self._fill(store, 8)
+        assert len(store) <= 3
+
+    def test_clear_removes_sharded_and_legacy_entries_only(self, tmp_path):
+        store = BoundStore(tmp_path)
+        self._fill(store, 3)
+        (tmp_path / f"{KEY}.json").write_text("{}")          # legacy entry shape
+        (tmp_path / "bounds.json").write_text("{}")          # unrelated export
+        removed = store.clear()
+        assert removed == 4
+        assert len(store) == 0
+        assert not (tmp_path / f"{KEY}.json").exists()
+        assert (tmp_path / "bounds.json").exists()           # never touched
+
+    def test_stats_reports_layout_and_schemas(self, tmp_path):
+        store = BoundStore(tmp_path, size_budget="1G")
+        self._fill(store, 5)
+        bad = store.path_for("ee" + "0" * 62)
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("{ not json")
+        stats = store.stats()
+        assert stats.entries == 6
+        assert stats.total_bytes > 0
+        assert stats.size_budget == 1024**3
+        assert stats.schema_versions.get(STORE_SCHEMA) == 5
+        assert stats.schema_versions.get(-1) == 1  # the unreadable probe
+        payload = stats.to_dict()
+        assert payload["entries"] == 6 and payload["session"]["writes"] == 5
+
+
+# -- concurrency ---------------------------------------------------------------
+
+WRITER_COUNT = 8
+WRITES_PER_PROCESS = 25
+
+
+def _hammer_store(args: tuple[str, int]) -> int:
+    """Worker: interleave puts and gets against one shared store.
+
+    Every process rewrites the same contended key plus a private key range,
+    reading back as it goes — any torn write would surface as a parse error
+    (a miss) on a key the process just wrote.
+    """
+    root, seed = args
+    store = BoundStore(root)
+    contended = "cc" + "0" * 62
+    ok = 0
+    for i in range(WRITES_PER_PROCESS):
+        store.put(contended, make_result("contended", seed * 1000 + i))
+        private = f"{seed:02x}" + "b" * 60 + f"{i:02x}"
+        store.put(private, make_result(f"private-{seed}", i))
+        if store.get(private) is not None:
+            ok += 1
+        store.get(contended)  # may be any writer's value, never torn
+    return ok
+
+
+class TestConcurrentWriters:
+    def test_store_survives_eight_concurrent_writers(self, tmp_path):
+        root = str(tmp_path)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=WRITER_COUNT) as pool:
+            results = list(
+                pool.map(_hammer_store, [(root, seed) for seed in range(WRITER_COUNT)])
+            )
+        # Every process read back each of its own private writes.
+        assert results == [WRITES_PER_PROCESS] * WRITER_COUNT
+
+        # No corrupted entries anywhere in the store: every file parses and
+        # decodes into a valid result.
+        store = BoundStore(root)
+        entries = list((tmp_path / "objects").glob("*/*.json"))
+        assert len(entries) == WRITER_COUNT * WRITES_PER_PROCESS + 1
+        for path in entries:
+            payload = json.loads(path.read_text())
+            assert payload["store_schema"] == STORE_SCHEMA
+            assert store.get(path.stem) is not None
+        # No stray temp files left behind.
+        assert not list((tmp_path / "objects").glob("*/*.tmp"))
+
+
+# -- integration with the Analyzer and the CLI ---------------------------------
+
+class TestAnalyzerIntegration:
+    def test_fresh_process_equivalent_warm_analyzer_derives_nothing(self, tmp_path):
+        from repro.polybench import get_kernel
+
+        program = get_kernel("gemm").program
+        config = AnalysisConfig(max_depth=0)
+        cold = Analyzer(config, store=BoundStore(tmp_path)).analyze(program)
+
+        # A brand-new Analyzer + store instance simulates a process restart.
+        reset_derivation_count()
+        warm = Analyzer(config, store=BoundStore(tmp_path)).analyze(program)
+        assert derivation_count() == 0
+        assert warm.smooth == cold.smooth
+        assert warm.asymptotic == cold.asymptotic
+
+    def test_cache_key_embeds_the_derivation_semantics_version(self, monkeypatch):
+        from repro.analysis import analyzer as analyzer_module
+        from repro.polybench import get_kernel
+
+        program = get_kernel("gemm").program
+        analyzer = Analyzer(AnalysisConfig(max_depth=0))
+        before = analyzer.cache_key(program)
+        monkeypatch.setattr(analyzer_module, "DERIVATION_VERSION", 999)
+        after = analyzer.cache_key(program)
+        # Changed semantics -> changed key: stale warm results are unreachable.
+        assert before != after
+
+    def test_explicit_store_beats_cache_dir_alias(self, tmp_path):
+        config = AnalysisConfig(cache_dir=tmp_path / "alias")
+        analyzer = Analyzer(config, store=BoundStore(tmp_path / "explicit"))
+        assert analyzer.store.root == tmp_path / "explicit"
+        alias_only = Analyzer(config)
+        assert alias_only.store.root == tmp_path / "alias"
+        assert Analyzer(AnalysisConfig()).store is None
+
+
+class TestCacheCLI:
+    def test_suite_is_warm_on_second_cli_run(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        assert cli_main(["suite", "--kernels", "gemm", "atax"]) == 0
+        cold_out = capsys.readouterr().out
+        assert "derivations: 2" in cold_out
+
+        assert cli_main(["suite", "--kernels", "gemm", "atax"]) == 0
+        warm_out = capsys.readouterr().out
+        assert "derivations: 0" in warm_out
+        assert "store hits: 2" in warm_out
+
+    def test_no_cache_flag_disables_the_store(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        assert cli_main(["suite", "--kernels", "atax", "--no-cache"]) == 0
+        assert "store disabled" in capsys.readouterr().out
+        assert not (tmp_path / "objects").exists()
+
+    def test_cache_stats_gc_clear_subcommands(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        store = BoundStore(tmp_path)
+        for i in range(4):
+            store.put(f"{i:02x}" + "d" * 62, make_result(f"p{i}"))
+
+        assert cli_main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries     : 4" in out
+
+        assert cli_main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 4
+
+        entry_size = store.path_for("00" + "d" * 62).stat().st_size
+        assert cli_main(["cache", "gc", "--budget", str(entry_size * 2)]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert len(store) <= 2
+
+        assert cli_main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert len(store) == 0
+
+    def test_cache_gc_without_budget_is_an_error(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        monkeypatch.delenv("REPRO_STORE_BUDGET", raising=False)
+        with pytest.raises(SystemExit):
+            cli_main(["cache", "gc"])

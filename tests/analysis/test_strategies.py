@@ -137,7 +137,7 @@ class TestAnalyzeMany:
         programs = [get_kernel(name).program for name in self.KERNELS[:3]]
         analyzer = Analyzer(AnalysisConfig(max_depth=0, cache_dir=tmp_path))
         first = analyzer.analyze_many(programs)
-        assert len(list(tmp_path.glob("*.json"))) == 3
+        assert len(list(tmp_path.glob("objects/*/*.json"))) == 3
         second = analyzer.analyze_many(programs)
         for a, b in zip(first, second):
             assert a.asymptotic == b.asymptotic

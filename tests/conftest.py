@@ -1,0 +1,17 @@
+"""Suite-wide fixtures: keep every test hermetic w.r.t. the bound store.
+
+``BoundStore`` reads ``$REPRO_STORE`` (default root) and
+``$REPRO_STORE_BUDGET`` (eviction budget) — both documented user knobs.  A
+developer or CI runner who has them exported must not see spurious failures
+(e.g. a budget evicting entries a test just wrote), and no test may ever
+touch the user's real ``~/.cache/repro``.  Tests that exercise the env
+handling re-set the variables explicitly via ``monkeypatch.setenv``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_bound_store_env(monkeypatch):
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.delenv("REPRO_STORE_BUDGET", raising=False)

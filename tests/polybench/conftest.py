@@ -1,0 +1,46 @@
+"""Session-scoped suite fixtures shared by the PolyBench test modules.
+
+The full-suite derivation is expensive (~30 s), so it runs at most once per
+test session, routed through a session-private :class:`BoundStore`.  The
+golden-bound regression tests read the results; the warm-run test re-runs
+the suite against the now-populated store and asserts it derives nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis import BoundStore, reset_derivation_count
+from repro.polybench import KernelAnalysis, analyze_suite
+
+
+@dataclass
+class ColdSuiteRun:
+    """Result of the one cold full-suite derivation of this test session."""
+
+    analyses: list[KernelAnalysis]
+    seconds: float
+    derivations: int
+
+    @property
+    def by_name(self) -> dict[str, KernelAnalysis]:
+        return {analysis.spec.name: analysis for analysis in self.analyses}
+
+
+@pytest.fixture(scope="session")
+def suite_store(tmp_path_factory) -> BoundStore:
+    """A session-private bound store (no cross-run or cross-suite state)."""
+    return BoundStore(tmp_path_factory.mktemp("bound-store"))
+
+
+@pytest.fixture(scope="session")
+def cold_suite(suite_store) -> ColdSuiteRun:
+    """Derive every registered kernel once, cold, through the session store."""
+    reset_derivation_count()
+    start = time.perf_counter()
+    analyses = analyze_suite(store=suite_store)
+    seconds = time.perf_counter() - start
+    return ColdSuiteRun(analyses, seconds, reset_derivation_count())

@@ -88,3 +88,23 @@ def test_shifted_triangles_match_enumeration(offset, n):
         # count may only *under*-estimate (the safe direction for |D|).
         assert got <= expected
         assert expected - got <= abs(offset) * (abs(offset) + 1) // 2
+
+
+def test_nested_split_branches_guard_empty_subranges():
+    """Regression: a case split must not sum over branch-empty sub-ranges.
+
+    Found by the differential harness (tests/sets/test_differential.py): with
+    two chained incomparable-bound splits (i1's upper depends on i0, i2's on
+    i1, both racing against N), the inner branch condition carves a region of
+    the outer domain where the summation interval is empty.  Summing the
+    closed form there *subtracted* phantom points, so the error grew with N
+    (the count even went negative) instead of vanishing in the large regime.
+    """
+    d = parse_set(
+        "[N] -> { D[i0, i1, i2] : 3 <= i0 and i0 <= N - 2 and "
+        "4 <= i1 and i1 <= N - 2 and i1 <= i0 + 2 and "
+        "5 <= i2 and i2 <= N - 1 and i2 <= i1 + 3 }"
+    )
+    symbolic = card(d)
+    for n in (9, 12, 15, 20, 30):
+        assert instance_value(symbolic, N=n) == card_at(d, {"N": n})
