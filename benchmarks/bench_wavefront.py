@@ -1,0 +1,72 @@
+"""Wavefront validation cost: symbolic (Algorithm 5) vs. concrete CDAG.
+
+The historical concrete validator expands an explicit CDAG at a validation
+instance and runs graph searches on it, so its cost grows as O(N^d) with
+that instance; the symbolic validator decides the same hypothesis on affine
+relations and never looks at an instance at all.  The generated table
+(benchmarks/out/wavefront_validation.md) shows the concrete column climbing
+with the instance while the symbolic column is one flat number.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.wavefront import (
+    _validate_reachability_concrete,
+    _validate_reachability_symbolic,
+)
+from repro.ir import DFG
+from repro.polybench import get_kernel
+
+from conftest import write_markdown_table
+
+#: Validation-instance sizes for the concrete validator's scaling column.
+CONCRETE_SIZES = (4, 8, 12, 16)
+
+
+def durbin_dfg() -> DFG:
+    return DFG.from_program(get_kernel("durbin").program)
+
+
+@pytest.mark.benchmark(group="wavefront-validation")
+def test_symbolic_validation_durbin(benchmark):
+    """Symbolic check of durbin's wavefront hypothesis (instance-free)."""
+    dfg = durbin_dfg()
+    result = benchmark(_validate_reachability_symbolic, dfg, "Y", 1)
+    assert result.holds and result.exact
+
+
+@pytest.mark.benchmark(group="wavefront-validation")
+@pytest.mark.parametrize("size", CONCRETE_SIZES)
+def test_concrete_validation_durbin(benchmark, size):
+    """Concrete check at a growing validation instance (O(N^d) CDAG)."""
+    dfg = durbin_dfg()
+    ok = benchmark(_validate_reachability_concrete, dfg, "Y", 1, {"N": size})
+    assert ok
+
+
+def test_validation_scaling_table():
+    """Emit the side-by-side scaling table for EXPERIMENTS-style review."""
+    dfg = durbin_dfg()
+
+    start = time.perf_counter()
+    symbolic = _validate_reachability_symbolic(dfg, "Y", 1)
+    symbolic_seconds = time.perf_counter() - start
+    assert symbolic.holds and symbolic.exact
+
+    rows = []
+    for size in CONCRETE_SIZES:
+        start = time.perf_counter()
+        ok = _validate_reachability_concrete(dfg, "Y", 1, {"N": size})
+        concrete_seconds = time.perf_counter() - start
+        assert ok
+        rows.append({
+            "instance": f"N={size}",
+            "concrete (s)": f"{concrete_seconds:.4f}",
+            "symbolic (s)": f"{symbolic_seconds:.4f} (instance-independent)",
+        })
+    path = write_markdown_table("wavefront_validation", rows)
+    assert path.exists()

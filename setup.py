@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-iolb",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of IOLB (PLDI 2020): automated parametric I/O "
         "lower bounds and operational-intensity upper bounds for affine programs"
@@ -31,6 +31,9 @@ setup(
     ],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis", "pytest-cov"],
+        # Optional exact relation backend for the Algorithm-5 wavefront
+        # validation (auto-selected by repro.rel when importable).
+        "isl": ["islpy"],
     },
     entry_points={
         "console_scripts": [

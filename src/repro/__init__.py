@@ -18,7 +18,7 @@ The legacy free function ``repro.derive_bounds`` is kept as a thin wrapper
 over the analyzer.
 """
 
-from . import analysis, core, ir, linalg, pebble, polybench, sets
+from . import analysis, core, ir, linalg, pebble, polybench, rel, sets
 from .analysis import AnalysisConfig, Analyzer
 from .core import derive_bounds
 from .ir import AffineProgram, ProgramBuilder
@@ -35,7 +35,8 @@ __all__ = [
     "linalg",
     "pebble",
     "polybench",
+    "rel",
     "sets",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.3.0"

@@ -43,6 +43,7 @@ from .analysis import (
     reset_derivation_count,
     save_results,
 )
+from .core.wavefront import VALIDATION_MODES
 from .polybench import all_kernels, analyze_suite, get_kernel, kernel_names
 
 
@@ -79,7 +80,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--no-validate-wavefront", action="store_true",
-        help="skip the concrete validation of the wavefront hypothesis",
+        help="skip the validation of the wavefront hypothesis",
+    )
+    group.add_argument(
+        "--wavefront-validation", choices=VALIDATION_MODES, default="symbolic",
+        help="how the wavefront hypothesis is checked: symbolic relation "
+             "algebra (Algorithm 5, default) or concrete CDAG expansion",
     )
     group.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -103,6 +109,7 @@ def _config_for(args: argparse.Namespace, spec_max_depth: int) -> AnalysisConfig
         "max_depth": args.max_depth if args.max_depth is not None else spec_max_depth,
         "instance": _parse_instance(args.instance),
         "validate_wavefront": not args.no_validate_wavefront,
+        "wavefront_validation": args.wavefront_validation,
     }
     if args.gamma is not None:
         kwargs["gamma"] = args.gamma
@@ -155,6 +162,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     overrides: dict = {
         "instance": _parse_instance(args.instance),
         "validate_wavefront": not args.no_validate_wavefront,
+        "wavefront_validation": args.wavefront_validation,
     }
     if args.max_depth is not None:
         overrides["max_depth"] = args.max_depth

@@ -23,15 +23,8 @@ from ..core.bounds import IOBoundResult, SubBound, asymptotic_leading
 from ..core.decomposition import combine_sub_q
 from ..ir import AffineProgram, DFG
 from .config import AnalysisConfig
-from .store import BoundStore, resolve_store
+from .store import DERIVATION_VERSION, BoundStore, resolve_store
 from .strategies import resolve_strategies
-
-#: Version of the *derivation semantics*.  Bump it whenever an algorithm
-#: change (strategy logic, set counting, decomposition, simplification) can
-#: alter a derived bound: the version is folded into every store key, so a
-#: warm shared store never serves results computed by older, differently-
-#: behaving code.  (2: the nested-case-split counting fix in repro.sets.)
-DERIVATION_VERSION = 2
 
 #: Process-wide count of full derivations actually executed (store hits do
 #: not count).  Lets suites, benchmarks and tests assert that a warm store

@@ -58,10 +58,17 @@ class AnalysisConfig:
         (0 disables wavefront bounds even when the strategy is listed).
     validate_wavefront:
         When True, wavefront bounds are only kept if the reachability
-        hypothesis of Cor. 6.3 holds on a small concretely-expanded CDAG.
+        hypothesis of Cor. 6.3 is validated (see ``wavefront_validation``).
+    wavefront_validation:
+        How the hypothesis is checked: ``"symbolic"`` (default) decides it
+        on :mod:`repro.rel` affine relations with transitive closure —
+        instance-independent, faithful to the paper's Algorithm 5 — while
+        ``"concrete"`` expands a small CDAG and checks it by graph search
+        (the historical validator, kept as a differential oracle).
     wavefront_validation_instance:
-        Parameter values for that concrete validation CDAG (None picks a
-        small default inside the wavefront detector).
+        Parameter values for the concrete validation CDAG (None picks a
+        small default inside the wavefront detector; ignored in symbolic
+        mode).
     max_subcdags_per_statement:
         Sub-CDAG rounds searched per statement (Sec. 4.2 decomposition).
     strategies:
@@ -85,6 +92,7 @@ class AnalysisConfig:
     gamma: float = DEFAULT_GAMMA
     max_depth: int = 1
     validate_wavefront: bool = True
+    wavefront_validation: str = "symbolic"
     wavefront_validation_instance: Mapping[str, int] | None = None
     max_subcdags_per_statement: int = DEFAULT_MAX_SUBCDAGS_PER_STATEMENT
     strategies: tuple[str, ...] = DEFAULT_STRATEGIES
@@ -118,6 +126,13 @@ class AnalysisConfig:
             )
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        from ..core.wavefront import VALIDATION_MODES
+
+        if self.wavefront_validation not in VALIDATION_MODES:
+            raise ValueError(
+                f"wavefront_validation must be one of {VALIDATION_MODES}, got "
+                f"{self.wavefront_validation!r}"
+            )
         if not self.strategies:
             raise ValueError("strategies must name at least one registered strategy")
         for name in self.strategies:
@@ -150,6 +165,7 @@ class AnalysisConfig:
             self.gamma,
             self.max_depth,
             self.validate_wavefront,
+            self.wavefront_validation,
             None
             if self.wavefront_validation_instance is None
             else tuple(sorted(self.wavefront_validation_instance.items())),
@@ -166,6 +182,7 @@ class AnalysisConfig:
             "gamma": self.gamma,
             "max_depth": self.max_depth,
             "validate_wavefront": self.validate_wavefront,
+            "wavefront_validation": self.wavefront_validation,
             "wavefront_validation_instance": (
                 None
                 if self.wavefront_validation_instance is None

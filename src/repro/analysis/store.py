@@ -49,6 +49,17 @@ from typing import Iterator, Mapping
 
 from ..core.bounds import IOBoundResult
 
+#: Version of the *derivation semantics*.  Bump it whenever an algorithm
+#: change (strategy logic, set counting, decomposition, simplification) can
+#: alter a derived bound: the version is folded into every store key (see
+#: :meth:`repro.analysis.Analyzer.cache_key`), so a warm shared store never
+#: serves results computed by older, differently-behaving code.
+#: History: 2 — the nested-case-split counting fix in ``repro.sets``;
+#: 3 — symbolic (Algorithm 5) wavefront validation replaces the
+#: concrete-CDAG check and ``_omega_range`` takes the tightest bound per
+#: piece instead of the first.
+DERIVATION_VERSION = 3
+
 #: Environment variable naming the default store root.
 STORE_ENV = "REPRO_STORE"
 

@@ -256,6 +256,7 @@ class WavefrontStrategy:
                     depth=depth,
                     validation_instance=config.wavefront_validation_instance,
                     validate=config.validate_wavefront,
+                    validation=config.wavefront_validation,
                 )
                 if bound is not None:
                     sub_bounds.append(bound)

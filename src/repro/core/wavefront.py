@@ -17,9 +17,14 @@ bounds of Table 2.
 
 The paper's Algorithm 5 establishes the completeness hypothesis symbolically
 with ISL relation algebra (including transitive closures).  This reproduction
-uses a *structural detector* (a bottleneck statement whose value is broadcast
-to the whole next slice) combined with an *explicit validation* of the
-hypothesis on small concretely-expanded CDAGs — see DESIGN.md, deviation 3.
+does the same: the structural detector (a bottleneck statement whose value is
+broadcast to the whole next slice) is combined with a *symbolic* validation of
+the hypothesis on :mod:`repro.rel` affine relations built from the DFG —
+every point of slice ``Omega + 1`` provably reachable from every point of
+slice ``Omega``, for every ``Omega`` and every parameter value, via a
+certified (under-approximated) transitive closure.  The historical
+concrete-CDAG validation (DESIGN.md, deviation 3 — retired) is kept as a
+differential oracle behind ``validation="concrete"``.
 """
 
 from __future__ import annotations
@@ -30,11 +35,15 @@ import networkx as nx
 import sympy
 
 from ..ir import CDAG, DFG
-from ..sets import CountingError, LinExpr, ParamSet, card, lin_to_sympy, sym
+from ..rel import AffineRelation, ReachabilityResult, get_backend, in_name, out_name
+from ..sets import Constraint, CountingError, EQ, LinExpr, ParamSet, card, lin_to_sympy, sym
 from .bounds import S_SYMBOL, SubBound
 from .paths import CHAIN, genpaths
 
 OMEGA_PREFIX = "Omega"
+
+#: Recognised values of the ``validation`` knob.
+VALIDATION_MODES = ("symbolic", "concrete")
 
 
 def sub_param_q_by_wavefront(
@@ -43,12 +52,23 @@ def sub_param_q_by_wavefront(
     depth: int = 1,
     validation_instance: Mapping[str, int] | None = None,
     validate: bool = True,
+    validation: str = "symbolic",
 ) -> SubBound | None:
     """Derive a wavefront bound for ``statement`` parametrised at loop ``depth``.
 
-    Returns ``None`` when the structural pattern is absent or when the
-    explicit validation of the reachability hypothesis fails.
+    ``validation`` selects how the complete-reachability hypothesis of
+    Cor. 6.3 is checked: ``"symbolic"`` (default) decides it on affine
+    relations built from the DFG — instance-independent and faithful to
+    Algorithm 5 — while ``"concrete"`` expands a small CDAG at
+    ``validation_instance`` and checks it by graph search (the historical
+    deviation-3 oracle).  Returns ``None`` when the structural pattern is
+    absent or when the validation fails.
     """
+    if validation not in VALIDATION_MODES:
+        raise ValueError(
+            f"unknown wavefront validation mode {validation!r}; expected one of "
+            f"{VALIDATION_MODES}"
+        )
     program = dfg.program
     stmt = program.statement(statement)
     dims = stmt.dims
@@ -69,11 +89,17 @@ def sub_param_q_by_wavefront(
     if not _has_broadcast_bottleneck(dfg, statement, inner_dims):
         return None
 
-    # 3. Validate the complete-reachability hypothesis on small instances.
+    # 3. Validate the complete-reachability hypothesis.
+    certificate = None
     if validate:
-        instance = validation_instance or {p: 4 for p in program.params}
-        if not _validate_reachability(dfg, statement, depth, instance):
-            return None
+        if validation == "symbolic":
+            certificate = _validate_reachability_symbolic(dfg, statement, depth)
+            if not certificate.holds:
+                return None
+        else:
+            instance = validation_instance or {p: 4 for p in program.params}
+            if not _validate_reachability_concrete(dfg, statement, depth, instance):
+                return None
 
     # 4. Parametric bound: for each value Omega of the sliced dimension,
     #    Q(G|V_Omega) >= |slice(Omega)| - S ; sum over the admissible Omegas.
@@ -97,6 +123,9 @@ def sub_param_q_by_wavefront(
 
     may_spill = {statement: stmt.domain}
     notes = f"wavefront over {slice_dim}, chain {chain.describe()}"
+    if certificate is not None:
+        closure_kind = "exact" if certificate.exact else "approximated"
+        notes += f", symbolic validation ({closure_kind} closure)"
     return SubBound(
         expression=sympy.Max(total, sympy.Integer(0)),
         smooth=total,
@@ -134,11 +163,21 @@ def _has_broadcast_bottleneck(dfg: DFG, statement: str, inner_dims: tuple[str, .
 
 
 def _omega_range(domain: ParamSet, slice_dim: str) -> tuple[LinExpr, LinExpr] | None:
-    """Lower/upper bounds of the sliced dimension over the whole domain."""
+    """Lower/upper bounds of the sliced dimension over the whole domain.
+
+    Within a piece the *tightest* bound wins (max of lower bounds, min of
+    upper bounds) — but only when the candidates are comparable, i.e. their
+    difference is a known constant; a symbolically incomparable pair gives
+    up.  Distinct pieces of a union must agree exactly on the resulting
+    bounds: a disagreement would make the summation range ill-defined, so it
+    returns None rather than silently picking one piece's answer.
+    """
     projected = domain.project_onto([slice_dim])
     lower: LinExpr | None = None
     upper: LinExpr | None = None
     for piece in projected.pieces:
+        piece_lower: LinExpr | None = None
+        piece_upper: LinExpr | None = None
         for constraint in piece.constraints:
             coeff = constraint.expr.coeff(slice_dim)
             if coeff == 0:
@@ -150,21 +189,124 @@ def _omega_range(domain: ParamSet, slice_dim: str) -> tuple[LinExpr, LinExpr] | 
             if abs(coeff) != 1:
                 return None
             if coeff > 0:
-                lower = -rest if lower is None else lower
+                piece_lower = _tightest(piece_lower, -rest, keep_larger=True)
             else:
-                upper = rest if upper is None else upper
+                piece_upper = _tightest(piece_upper, rest, keep_larger=False)
+            if piece_lower is _INCOMPARABLE or piece_upper is _INCOMPARABLE:
+                return None
+        if piece_lower is None or piece_upper is None:
+            return None
+        if lower is None:
+            lower, upper = piece_lower, piece_upper
+        elif lower != piece_lower or upper != piece_upper:
+            return None  # cross-piece disagreement: no single summation range
     if lower is None or upper is None:
         return None
     return lower, upper
 
 
-def _validate_reachability(
+#: Sentinel returned by :func:`_tightest` for symbolically incomparable bounds.
+_INCOMPARABLE = LinExpr.constant(0)
+
+
+def _tightest(current: LinExpr | None, candidate: LinExpr, keep_larger: bool):
+    """The tighter of two affine bounds, or ``_INCOMPARABLE``.
+
+    Two bounds are comparable only when their difference is a constant; the
+    larger one is the tighter lower bound, the smaller the tighter upper.
+    """
+    if current is None:
+        return candidate
+    difference = candidate - current
+    if not difference.is_constant():
+        return _INCOMPARABLE
+    if (difference.const > 0) == keep_larger and difference.const != 0:
+        return candidate
+    return current
+
+
+# -- symbolic validation (Algorithm 5) ---------------------------------------
+
+
+def dfg_forward_relations(dfg: DFG) -> list[AffineRelation]:
+    """Forward flow relations between statement instances of the DFG.
+
+    Each dependence is stored in inverse (read-function) form ``sink ->
+    source``; the CDAG edge relation is its inverse, restricted so that both
+    endpoints lie in their statements' iteration domains (mirroring
+    ``CDAG.expand``).  Array sources carry no incoming edges and therefore
+    never appear on a statement-to-statement path, so they are skipped.
+    """
+    program = dfg.program
+    relations = []
+    for dep in program.dependences:
+        if dep.source not in program.statements:
+            continue
+        sink = program.statement(dep.sink)
+        source = program.statement(dep.source)
+        domain = dep.domain.intersect(sink.domain)
+        backward = AffineRelation.from_function(domain, dep.function, source.space)
+        relations.append(backward.restrict_range(source.domain).inverse())
+    return relations
+
+
+def slice_step_relation(stmt_domain: ParamSet, depth: int) -> AffineRelation:
+    """The universal slice-step relation of Cor. 6.3's hypothesis.
+
+    Relates *every* point of slice ``Omega`` to *every* point of slice
+    ``Omega + 1`` of the statement domain, for every ``Omega`` — exactly the
+    set of pairs that must be reachable for the wavefront bound to hold.
+    """
+    index = depth - 1
+    step = Constraint(LinExpr({out_name(index): 1, in_name(index): -1}, -1), EQ)
+    return AffineRelation.universal(stmt_domain, stmt_domain).restrict([step])
+
+
+def _cached_forward_relations(dfg: DFG) -> list[AffineRelation]:
+    """Per-DFG memo of :func:`dfg_forward_relations`.
+
+    The forward relations are statement- and depth-independent, but the
+    wavefront strategy probes one (statement, depth) pair at a time; caching
+    on the DFG instance avoids rebuilding them for every probe of the same
+    derivation.
+    """
+    cache = getattr(dfg, "_forward_relation_cache", None)
+    if cache is None:
+        cache = dfg_forward_relations(dfg)
+        dfg._forward_relation_cache = cache
+    return cache
+
+
+def _validate_reachability_symbolic(
+    dfg: DFG, statement: str, depth: int
+) -> ReachabilityResult:
+    """Check Cor. 6.3's hypothesis symbolically (Algorithm 5).
+
+    Builds the forward dependence relations of the DFG, the universal
+    slice-step relation of the statement, and asks the relation backend to
+    certify the containment in the transitive closure.  The answer is
+    instance-independent: it quantifies over all slices and all parameter
+    values in the non-degenerate regime (every parameter >= 1).
+    """
+    stmt = dfg.program.statement(statement)
+    edges = _cached_forward_relations(dfg)
+    target = slice_step_relation(stmt.domain, depth)
+    context = [Constraint(LinExpr({p: 1}, -1)) for p in dfg.program.params]
+    return get_backend().check_reachability(edges, target, statement, context)
+
+
+# -- concrete validation (differential oracle; DESIGN.md deviation 3) --------
+
+
+def _validate_reachability_concrete(
     dfg: DFG, statement: str, depth: int, instance: Mapping[str, int]
 ) -> bool:
-    """Check Corollary 6.3's hypothesis on a concretely expanded CDAG.
+    """Check Cor. 6.3's hypothesis on a concretely expanded CDAG.
 
     For two consecutive slices of the statement, every vertex of the later
-    slice must be reachable from every vertex of the earlier one.
+    slice must be reachable from every vertex of the earlier one.  Retained
+    as the differential oracle for the symbolic validator: it checks one
+    small instance only and scales as O(N^d) with it.
     """
     try:
         cdag = CDAG.expand(dfg.program, instance)
@@ -191,3 +333,7 @@ def _validate_reachability(
         if checked_pairs >= 2:
             break
     return checked_pairs > 0
+
+
+#: Backwards-compatible alias (pre-symbolic name of the concrete oracle).
+_validate_reachability = _validate_reachability_concrete

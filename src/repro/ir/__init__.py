@@ -1,6 +1,6 @@
 """Program representation: affine programs, data-flow graphs and explicit CDAGs."""
 
-from .cdag import CDAG, Vertex
+from .cdag import CDAG, Vertex, expand_count, reset_expand_count
 from .dfg import DFG
 from .program import AffineProgram, Array, ArrayAccess, FlowDep, ProgramBuilder, Statement
 
@@ -14,4 +14,6 @@ __all__ = [
     "ProgramBuilder",
     "Statement",
     "Vertex",
+    "expand_count",
+    "reset_expand_count",
 ]

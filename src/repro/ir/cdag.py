@@ -22,6 +22,24 @@ from .program import AffineProgram
 
 Vertex = tuple[str, tuple[int, ...]]
 
+#: Process-wide count of CDAG expansions.  The symbolic wavefront validation
+#: makes the default derivation pipeline expansion-free; tests assert that by
+#: sampling this counter around a suite run.
+_expansions = 0
+
+
+def expand_count() -> int:
+    """Number of CDAG expansions performed in this process since the last reset."""
+    return _expansions
+
+
+def reset_expand_count() -> int:
+    """Reset the expansion counter; returns the prior count."""
+    global _expansions
+    previous = _expansions
+    _expansions = 0
+    return previous
+
 
 @dataclass
 class CDAG:
@@ -35,6 +53,8 @@ class CDAG:
     @classmethod
     def expand(cls, program: AffineProgram, params: Mapping[str, int]) -> "CDAG":
         """Materialise the CDAG of ``program`` for the given parameter values."""
+        global _expansions
+        _expansions += 1
         params = program.instance_values(params)
         cdag = cls(program, dict(params))
         graph = cdag.graph

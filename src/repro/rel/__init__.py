@@ -1,0 +1,56 @@
+"""repro.rel — symbolic affine relations with transitive closure.
+
+The subsystem behind the Algorithm-5-faithful wavefront validation
+(replacing the concrete-CDAG expansion of DESIGN.md deviation 3, retired):
+
+* :class:`AffineRelation` — parametric affine relations (ISL-map analogue)
+  over the :mod:`repro.sets` substrate, with union / intersect / compose /
+  inverse / domain / range / apply;
+* :func:`transitive_closure` — closure with an exactness certificate
+  (:class:`ClosureResult`): exact for translation-family relations, an
+  over- or under-approximation (by ``direction``) otherwise;
+* :func:`graph_reachability` / :func:`check_universal_reachability` —
+  Kleene-style reachability over a graph of relations (the DFG), the query
+  the wavefront completeness hypothesis reduces to;
+* :func:`get_backend` — pure-Python engine by default, ``islpy`` when
+  importable (override with ``$REPRO_REL_BACKEND``).
+"""
+
+from .backend import (
+    BACKEND_ENV,
+    IslBackend,
+    PurePythonBackend,
+    RelationBackend,
+    get_backend,
+    islpy_available,
+    relation_to_isl_str,
+)
+from .closure import (
+    ClosureResult,
+    ReachabilityResult,
+    check_universal_reachability,
+    graph_reachability,
+    reflexive_closure,
+    transitive_closure,
+)
+from .relation import AffineRelation, in_name, out_name, translation_of_piece
+
+__all__ = [
+    "AffineRelation",
+    "BACKEND_ENV",
+    "ClosureResult",
+    "IslBackend",
+    "PurePythonBackend",
+    "ReachabilityResult",
+    "RelationBackend",
+    "check_universal_reachability",
+    "get_backend",
+    "graph_reachability",
+    "in_name",
+    "islpy_available",
+    "out_name",
+    "reflexive_closure",
+    "relation_to_isl_str",
+    "transitive_closure",
+    "translation_of_piece",
+]

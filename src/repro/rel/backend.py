@@ -1,0 +1,261 @@
+"""Pluggable backends for relation closure / reachability queries.
+
+Two backends answer the same queries:
+
+* :class:`PurePythonBackend` — the default, built entirely on
+  :mod:`repro.rel.relation` / :mod:`repro.rel.closure` (no dependencies
+  beyond the standard library);
+* :class:`IslBackend` — used automatically when `islpy
+  <https://pypi.org/project/islpy/>`_ is importable.  It hands the union of
+  dependence relations to ISL's ``transitive_closure`` (the exact engine the
+  paper's Algorithm 5 uses) and decides the containment there; whenever ISL
+  reports its closure as *inexact* the backend falls back to the pure
+  engine, so installing ``islpy`` can only confirm decisions the pure
+  backend makes or certify additional *true* facts — never flip a decision.
+
+Selection: :func:`get_backend` honours the ``REPRO_REL_BACKEND`` environment
+variable (``"pure"`` or ``"islpy"``) and otherwise auto-selects ``islpy``
+when importable, ``pure`` otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from ..sets import EQ, Constraint
+from .closure import (
+    ClosureResult,
+    ReachabilityResult,
+    check_universal_reachability,
+    transitive_closure,
+)
+from .relation import AffineRelation, in_name, out_name
+
+#: Environment variable forcing a backend (``pure`` or ``islpy``).
+BACKEND_ENV = "REPRO_REL_BACKEND"
+
+
+@runtime_checkable
+class RelationBackend(Protocol):
+    """One engine answering closure and universal-reachability queries."""
+
+    name: str
+
+    def transitive_closure(
+        self, relation: AffineRelation, context: Sequence[Constraint] = ()
+    ) -> ClosureResult:
+        ...
+
+    def check_reachability(
+        self,
+        edges: Iterable[AffineRelation],
+        target_relation: AffineRelation,
+        statement: str,
+        context: Sequence[Constraint] = (),
+    ) -> ReachabilityResult:
+        ...
+
+
+class PurePythonBackend:
+    """The dependency-free default backend."""
+
+    name = "pure"
+
+    def transitive_closure(
+        self, relation: AffineRelation, context: Sequence[Constraint] = ()
+    ) -> ClosureResult:
+        return transitive_closure(relation, context)
+
+    def check_reachability(
+        self,
+        edges: Iterable[AffineRelation],
+        target_relation: AffineRelation,
+        statement: str,
+        context: Sequence[Constraint] = (),
+    ) -> ReachabilityResult:
+        return check_universal_reachability(edges, target_relation, statement, context)
+
+
+def islpy_available() -> bool:
+    """True when the optional ``islpy`` package can be imported."""
+    try:
+        import islpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _isl_term(coeff, name: str) -> str:
+    if coeff == 1:
+        return name
+    if coeff == -1:
+        return f"-{name}"
+    return f"{int(coeff)}{name}"
+
+
+def _isl_constraint(constraint: Constraint, rename: dict[str, str]) -> str:
+    expr = constraint.expr.scaled_to_integers()
+    terms = [
+        _isl_term(coeff, rename.get(name, name))
+        for name, coeff in sorted(expr.coeffs.items())
+    ]
+    if expr.const != 0 or not terms:
+        terms.append(str(int(expr.const)))
+    body = " + ".join(terms).replace("+ -", "- ")
+    op = "=" if constraint.kind == EQ else ">="
+    return f"{body} {op} 0"
+
+
+def _fresh_out_names(relation: AffineRelation, taken: set[str]) -> list[str]:
+    names = []
+    for index, dim in enumerate(relation.out_space.dims):
+        candidate = dim if dim not in taken else f"{dim}_o{index}"
+        while candidate in taken:
+            candidate = candidate + "_"
+        taken.add(candidate)
+        names.append(candidate)
+    return names
+
+
+def relation_to_isl_str(relation: AffineRelation, params: Sequence[str]) -> str:
+    """Serialize a relation as an ISL (union) map string."""
+    in_dims = list(relation.in_space.dims)
+    out_dims = _fresh_out_names(relation, set(in_dims) | set(params))
+    rename = {in_name(k): d for k, d in enumerate(in_dims)}
+    rename.update({out_name(k): d for k, d in enumerate(out_dims)})
+    header = f"[{', '.join(params)}] -> " if params else ""
+    pieces = []
+    for piece in relation.pieces:
+        conjuncts = [_isl_constraint(c, rename) for c in piece.constraints]
+        condition = f" : {' and '.join(conjuncts)}" if conjuncts else ""
+        pieces.append(
+            f"{relation.in_space.tuple_name}[{', '.join(in_dims)}] -> "
+            f"{relation.out_space.tuple_name}[{', '.join(out_dims)}]{condition}"
+        )
+    if not pieces:
+        # An empty map over the right tuples.
+        pieces = [
+            f"{relation.in_space.tuple_name}[{', '.join(in_dims)}] -> "
+            f"{relation.out_space.tuple_name}[{', '.join(out_dims)}] : 1 = 0"
+        ]
+    return header + "{ " + "; ".join(pieces) + " }"
+
+
+def _context_params(
+    edges: Sequence[AffineRelation], context: Sequence[Constraint]
+) -> list[str]:
+    params: list[str] = []
+    for edge in edges:
+        for piece in edge.pieces:
+            for p in piece.space.params:
+                if p not in params:
+                    params.append(p)
+    for constraint in context:
+        for name in constraint.expr.names():
+            if name not in params:
+                params.append(name)
+    return params
+
+
+class IslBackend:
+    """Closure/reachability through ``islpy``, with a pure-engine fallback.
+
+    ISL's transitive closure reports whether its result is exact.  Only an
+    exact ISL closure is trusted for a decision (in either direction); an
+    inexact one delegates to :class:`PurePythonBackend`, keeping decisions
+    between environments with and without ``islpy`` consistent.
+    """
+
+    name = "islpy"
+
+    def __init__(self):
+        import islpy
+
+        self._isl = islpy
+        self._pure = PurePythonBackend()
+
+    @staticmethod
+    def _closure_with_flag(umap):
+        result = umap.transitive_closure()
+        if isinstance(result, tuple):
+            closure, exact = result
+            return closure, bool(exact)
+        return result, False
+
+    def _param_context_set(self, params: Sequence[str], context: Sequence[Constraint]):
+        if not params:
+            return None
+        conjuncts = [_isl_constraint(c, {}) for c in context] or ["0 = 0"]
+        text = f"[{', '.join(params)}] -> {{ : {' and '.join(conjuncts)} }}"
+        return self._isl.Set(text)
+
+    def transitive_closure(
+        self, relation: AffineRelation, context: Sequence[Constraint] = ()
+    ) -> ClosureResult:
+        # The pure engine owns the AffineRelation-typed closure API; ISL is
+        # only consulted for the exactness certificate of the decision-level
+        # queries (converting an ISL map back would add nothing here).
+        return self._pure.transitive_closure(relation, context)
+
+    def check_reachability(
+        self,
+        edges: Iterable[AffineRelation],
+        target_relation: AffineRelation,
+        statement: str,
+        context: Sequence[Constraint] = (),
+    ) -> ReachabilityResult:
+        edge_list = list(edges)
+        try:
+            params = _context_params(edge_list, context)
+            pieces = [relation_to_isl_str(edge, params) for edge in edge_list]
+            union = None
+            for text in pieces:
+                umap = self._isl.UnionMap(text)
+                union = umap if union is None else union.union(umap)
+            if union is None:
+                return ReachabilityResult(False, True, 0)
+            closure, exact = self._closure_with_flag(union)
+            if not exact:
+                return self._pure.check_reachability(
+                    edge_list, target_relation, statement, context
+                )
+            target = self._isl.UnionMap(relation_to_isl_str(target_relation, params))
+            assumptions = self._param_context_set(params, context)
+            if assumptions is not None:
+                closure = closure.intersect_params(assumptions)
+                target = target.intersect_params(assumptions)
+            return ReachabilityResult(bool(target.is_subset(closure)), True, 0)
+        except Exception:
+            # Any conversion or ISL-level failure falls back to the pure
+            # engine rather than failing the derivation.
+            return self._pure.check_reachability(
+                edge_list, target_relation, statement, context
+            )
+
+
+_BACKEND_CACHE: dict[str, RelationBackend] = {}
+
+
+def get_backend(name: str | None = None) -> RelationBackend:
+    """Resolve a backend by name, env override, or auto-detection.
+
+    ``name=None`` reads ``$REPRO_REL_BACKEND``; when that is unset too, the
+    ``islpy`` backend is auto-selected if importable, else the pure one.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV) or ("islpy" if islpy_available() else "pure")
+    if name in _BACKEND_CACHE:
+        return _BACKEND_CACHE[name]
+    if name == "pure":
+        backend: RelationBackend = PurePythonBackend()
+    elif name == "islpy":
+        if not islpy_available():
+            raise RuntimeError(
+                "the 'islpy' relation backend was requested but islpy is not installed"
+            )
+        backend = IslBackend()
+    else:
+        raise KeyError(f"unknown relation backend {name!r} (expected 'pure' or 'islpy')")
+    _BACKEND_CACHE[name] = backend
+    return backend

@@ -76,6 +76,21 @@ class TestValidation:
         with pytest.raises(KeyError, match="no-such-strategy"):
             Analyzer(config).analyze(get_kernel("gemm").program)
 
+    def test_unknown_wavefront_validation_mode(self):
+        with pytest.raises(ValueError, match="wavefront_validation"):
+            AnalysisConfig(wavefront_validation="both")
+
+    def test_wavefront_validation_default_and_signature(self):
+        assert AnalysisConfig().wavefront_validation == "symbolic"
+        symbolic = AnalysisConfig().signature()
+        concrete = AnalysisConfig(wavefront_validation="concrete").signature()
+        assert symbolic != concrete  # different semantics -> different cache keys
+
+    def test_concrete_validation_mode_still_derives_durbin(self):
+        config = AnalysisConfig(max_depth=1, wavefront_validation="concrete")
+        result = Analyzer(config).analyze(get_kernel("durbin").program)
+        assert any(b.method == "wavefront" for b in result.sub_bounds)
+
 
 class TestRoundTripAndSignature:
     def test_dict_round_trip(self):

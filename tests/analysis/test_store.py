@@ -347,6 +347,36 @@ class TestAnalyzerIntegration:
         # Changed semantics -> changed key: stale warm results are unreachable.
         assert before != after
 
+    def test_pre_bump_warm_store_rederives(self, tmp_path, monkeypatch):
+        """A store populated under the previous DERIVATION_VERSION must not
+        serve those entries after the bump: the key changes, the lookup
+        misses, and the kernel is re-derived with current semantics."""
+        from repro.analysis import analyzer as analyzer_module
+        from repro.analysis.store import DERIVATION_VERSION
+        from repro.polybench import get_kernel
+
+        program = get_kernel("gemm").program
+        config = AnalysisConfig(max_depth=0)
+        store = BoundStore(tmp_path)
+
+        # Populate the store as the previous library version would have.
+        # (Scoped context: a bare monkeypatch.undo() would also revert the
+        # autouse store-env isolation fixture's patches.)
+        with monkeypatch.context() as patch:
+            patch.setattr(
+                analyzer_module, "DERIVATION_VERSION", DERIVATION_VERSION - 1
+            )
+            stale_key = Analyzer(config, store=store).cache_key(program)
+            store.put(stale_key, make_result("gemm", value=123))
+
+        reset_derivation_count()
+        result = Analyzer(config, store=store).analyze(program)
+        assert derivation_count() == 1, "stale pre-bump entry must not be served"
+        assert result.log, "a fresh derivation carries its log"
+        # Both generations coexist on disk under distinct keys.
+        assert store.contains(stale_key)
+        assert store.contains(Analyzer(config, store=store).cache_key(program))
+
     def test_explicit_store_beats_cache_dir_alias(self, tmp_path):
         config = AnalysisConfig(cache_dir=tmp_path / "alias")
         analyzer = Analyzer(config, store=BoundStore(tmp_path / "explicit"))

@@ -6,9 +6,37 @@ developer or CI runner who has them exported must not see spurious failures
 (e.g. a budget evicting entries a test just wrote), and no test may ever
 touch the user's real ``~/.cache/repro``.  Tests that exercise the env
 handling re-set the variables explicitly via ``monkeypatch.setenv``.
+
+This conftest also registers the ``slow`` marker: the differential
+reachability sweeps (tests/rel/) are thorough but long, so they are skipped
+by default and opt in with ``--runslow``; the tier-1 run stays fast.
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (e.g. the differential reachability sweeps)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running sweep; skipped unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow sweep; use --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,98 @@
+"""Wavefront validation modes and the _omega_range tightest-bound fix."""
+
+from __future__ import annotations
+
+import pytest
+import sympy
+
+from repro.core.bounds import S_SYMBOL
+from repro.core.wavefront import _omega_range, sub_param_q_by_wavefront
+from repro.ir import DFG, expand_count, reset_expand_count
+from repro.sets import LinExpr, parse_set, sym
+
+
+class TestOmegaRange:
+    def test_simple_box_bounds(self):
+        domain = parse_set("[M] -> { S[t, i] : 0 <= t < M and 0 <= i < 10 }")
+        bounds = _omega_range(domain, "t")
+        assert bounds == (LinExpr.constant(0), LinExpr({"M": 1}, -1))
+
+    def test_tightest_lower_bound_wins(self):
+        # Two lower bounds 0 <= t and 5 <= t: the old code kept whichever
+        # constraint came first; the range must start at 5.
+        domain = parse_set("[M] -> { S[t] : 0 <= t and 5 <= t and t < M }")
+        bounds = _omega_range(domain, "t")
+        assert bounds == (LinExpr.constant(5), LinExpr({"M": 1}, -1))
+
+    def test_tightest_upper_bound_wins(self):
+        domain = parse_set("[M] -> { S[t] : 0 <= t and t < M and t <= 7 }")
+        bounds = _omega_range(domain, "t")
+        # M - 1 vs 7 are not comparable symbolically: must give up rather
+        # than silently pick one.
+        assert bounds is None
+
+    def test_comparable_upper_bounds(self):
+        domain = parse_set("[M] -> { S[t] : 0 <= t and t < M and t < M - 2 }")
+        bounds = _omega_range(domain, "t")
+        assert bounds == (LinExpr.constant(0), LinExpr({"M": 1}, -3))
+
+    def test_incomparable_lower_bounds_give_up(self):
+        domain = parse_set("[M, K] -> { S[t] : 0 <= t and K <= t and t < M }")
+        assert _omega_range(domain, "t") is None
+
+    def test_cross_piece_disagreement_returns_none(self):
+        # A union whose pieces disagree on the slice range has no single
+        # well-defined summation range.
+        piece1 = parse_set("[M] -> { S[t] : 0 <= t < M }")
+        piece2 = parse_set("[M] -> { S[t] : 1 <= t < M }")
+        union = piece1.union(piece2)
+        assert _omega_range(union, "t") is None
+
+    def test_agreeing_pieces_are_accepted(self):
+        piece = parse_set("[M] -> { S[t] : 0 <= t < M }")
+        union = piece.union(piece)
+        assert _omega_range(union, "t") == (
+            LinExpr.constant(0),
+            LinExpr({"M": 1}, -1),
+        )
+
+    def test_non_unit_coefficient_gives_up(self):
+        domain = parse_set("[M] -> { S[t] : 2*t >= M and t < M }")
+        assert _omega_range(domain, "t") is None
+
+
+class TestValidationModes:
+    def test_symbolic_and_concrete_agree_on_example2(self, example2):
+        dfg = DFG.from_program(example2)
+        symbolic = sub_param_q_by_wavefront(dfg, "S2", depth=1, validation="symbolic")
+        concrete = sub_param_q_by_wavefront(
+            dfg, "S2", depth=1, validation="concrete",
+            validation_instance={"M": 4, "N": 4},
+        )
+        assert symbolic is not None and concrete is not None
+        assert sympy.expand(symbolic.smooth - concrete.smooth) == 0
+        m, n = sym("M"), sym("N")
+        assert sympy.expand(symbolic.smooth - (m - 1) * (n - S_SYMBOL)) == 0
+
+    def test_symbolic_validation_expands_no_cdag(self, example2):
+        dfg = DFG.from_program(example2)
+        reset_expand_count()
+        bound = sub_param_q_by_wavefront(dfg, "S2", depth=1, validation="symbolic")
+        assert bound is not None
+        assert expand_count() == 0, "symbolic validation must not expand a CDAG"
+
+    def test_symbolic_bound_records_exact_closure(self, example2):
+        dfg = DFG.from_program(example2)
+        bound = sub_param_q_by_wavefront(dfg, "S2", depth=1)
+        assert "symbolic validation (exact closure)" in bound.notes
+
+    def test_unknown_validation_mode_rejected(self, example2):
+        dfg = DFG.from_program(example2)
+        with pytest.raises(ValueError, match="validation"):
+            sub_param_q_by_wavefront(dfg, "S2", depth=1, validation="both")
+
+    def test_validate_false_skips_validation(self, example2):
+        dfg = DFG.from_program(example2)
+        bound = sub_param_q_by_wavefront(dfg, "S2", depth=1, validate=False)
+        assert bound is not None
+        assert "symbolic validation" not in bound.notes

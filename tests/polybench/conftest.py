@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import pytest
 
 from repro.analysis import BoundStore, reset_derivation_count
+from repro.ir import reset_expand_count
 from repro.polybench import KernelAnalysis, analyze_suite
 
 
@@ -24,6 +25,7 @@ class ColdSuiteRun:
     analyses: list[KernelAnalysis]
     seconds: float
     derivations: int
+    cdag_expansions: int
 
     @property
     def by_name(self) -> dict[str, KernelAnalysis]:
@@ -40,7 +42,8 @@ def suite_store(tmp_path_factory) -> BoundStore:
 def cold_suite(suite_store) -> ColdSuiteRun:
     """Derive every registered kernel once, cold, through the session store."""
     reset_derivation_count()
+    reset_expand_count()
     start = time.perf_counter()
     analyses = analyze_suite(store=suite_store)
     seconds = time.perf_counter() - start
-    return ColdSuiteRun(analyses, seconds, reset_derivation_count())
+    return ColdSuiteRun(analyses, seconds, reset_derivation_count(), reset_expand_count())

@@ -73,6 +73,27 @@ class TestGoldenBounds:
         )
 
 
+class TestExpansionFreeDerivation:
+    """Acceptance: the default (symbolic-validation) derivation of the whole
+    PolyBench suite never expands a concrete CDAG — validation cost is
+    independent of any instance size."""
+
+    def test_cold_suite_performs_zero_cdag_expansions(self, cold_suite):
+        assert cold_suite.cdag_expansions == 0, (
+            f"the suite derivation expanded {cold_suite.cdag_expansions} "
+            "CDAG(s); symbolic wavefront validation must be expansion-free"
+        )
+
+    def test_durbin_wavefront_bound_is_symbolically_certified(self, cold_suite):
+        result = cold_suite.by_name["durbin"].result
+        wavefront = [b for b in result.sub_bounds if b.method == "wavefront"]
+        assert wavefront, "durbin must keep its wavefront bound"
+        assert all(
+            "symbolic validation (exact closure)" in bound.notes
+            for bound in wavefront
+        )
+
+
 class TestWarmStoreSuite:
     """Acceptance: a warm suite run derives nothing and is >= 10x faster."""
 

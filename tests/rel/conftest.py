@@ -1,0 +1,61 @@
+"""Shared helpers for the relation-algebra tests.
+
+Brute-force ground truth: a relation over small concrete boxes is just a set
+of point pairs, so every algebraic property (composition, inverse, closure)
+can be checked against plain Python set manipulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rel import AffineRelation
+from repro.sets import AffineFunction, BasicSet, LinExpr, ParamSet, Space
+
+
+def box_space(name: str, dims: tuple[str, ...], params: tuple[str, ...] = ()) -> Space:
+    return Space(name, dims, params)
+
+
+def box_domain(space: Space, size: int) -> ParamSet:
+    """The concrete box ``[0, size)^dim`` over ``space``."""
+    bounds = {d: (0, size - 1) for d in space.dims}
+    return ParamSet.from_basic(BasicSet.from_bounds(space, bounds))
+
+
+def translation(space: Space, offsets: tuple[int, ...]) -> AffineFunction:
+    """The map ``x -> x + offsets`` on ``space``."""
+    exprs = [LinExpr({d: 1}, off) for d, off in zip(space.dims, offsets)]
+    return AffineFunction(space, space.tuple_name, exprs)
+
+
+def translation_relation(
+    space: Space, size: int, offsets: tuple[int, ...]
+) -> AffineRelation:
+    """``{x -> x + offsets}`` restricted so both endpoints stay in the box."""
+    domain = box_domain(space, size)
+    relation = AffineRelation.from_function(domain, translation(space, offsets), space)
+    return relation.restrict_range(domain)
+
+
+def brute_pairs(relation: AffineRelation, params=None) -> set:
+    return relation.enumerate_pairs(params or {})
+
+
+def brute_closure(pairs: set) -> set:
+    """Transitive closure of a finite pair set (Floyd-Warshall on points)."""
+    closure = set(pairs)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closure):
+            for c, d in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return closure
+
+
+@pytest.fixture
+def space2():
+    return box_space("S", ("i", "j"))

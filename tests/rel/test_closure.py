@@ -1,0 +1,148 @@
+"""Transitive closure: algebraic laws and exactness-flag soundness.
+
+The exactness certificate is the load-bearing part of the engine — a
+wavefront bound is only accepted on a certified closure — so the hypothesis
+sweeps pin the flag against brute-force reachability on concrete boxes:
+
+* always: the closure contains the relation (``R subset-of R+``);
+* ``exact=True``: the closure equals brute-force reachability;
+* ``direction="over"``: the closure contains brute-force reachability;
+* ``direction="under"``: the closure is contained in it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rel import AffineRelation, transitive_closure
+from repro.sets import LinExpr, Space
+
+from .conftest import (
+    box_domain,
+    box_space,
+    brute_closure,
+    brute_pairs,
+    translation,
+    translation_relation,
+)
+
+BOX = 4
+
+#: Immutable (frozen dataclass) -- safe to share across hypothesis examples.
+SPACE2 = box_space("S", ("i", "j"))
+
+offsets2 = st.tuples(st.integers(-2, 2), st.integers(-2, 2))
+
+
+def union_of_translations(space, offset_list):
+    relation = None
+    for offsets in offset_list:
+        piece = translation_relation(space, BOX, offsets)
+        relation = piece if relation is None else relation.union(piece)
+    return relation
+
+
+class TestSingleTranslation:
+    def test_unit_chain_closure_formula(self):
+        space = Space("S", ("i",), ("N",))
+        from repro.sets import BasicSet, ParamSet
+
+        domain = ParamSet.from_basic(
+            BasicSet.from_bounds(space, {"i": (0, LinExpr({"N": 1}, -1))})
+        )
+        step = AffineRelation.from_function(
+            domain, translation(space, (1,)), space
+        ).restrict_range(domain)
+        result = transitive_closure(step)
+        assert result.exact
+        # { i -> i' : 0 <= i < i' < N } for every N
+        for n in (1, 3, 5):
+            pairs = result.relation.enumerate_pairs({"N": n})
+            assert pairs == {((i,), (j,)) for i in range(n) for j in range(i + 1, n)}
+
+    def test_zero_translation_closure_is_itself(self):
+        identity_like = translation_relation(SPACE2, BOX, (0, 0))
+        result = transitive_closure(identity_like)
+        assert result.exact
+        assert brute_pairs(result.relation) == brute_pairs(identity_like)
+
+    @settings(max_examples=25, deadline=None)
+    @given(offsets=offsets2)
+    def test_closure_of_one_translation_is_exact(self, offsets):
+        relation = translation_relation(SPACE2, BOX, offsets)
+        result = transitive_closure(relation)
+        pairs = brute_pairs(relation)
+        closed = brute_closure(pairs)
+        assert pairs <= brute_pairs(result.relation)          # R subset-of R+
+        if result.exact:
+            assert brute_pairs(result.relation) == closed
+        else:
+            assert brute_pairs(result.relation) >= closed     # over mode
+
+
+class TestTranslationFamilies:
+    @settings(max_examples=20, deadline=None)
+    @given(a=offsets2, b=offsets2)
+    def test_two_family_closure_soundness(self, a, b):
+        relation = union_of_translations(SPACE2, [a, b])
+        truth = brute_closure(brute_pairs(relation))
+        over = transitive_closure(relation, direction="over")
+        under = transitive_closure(relation, direction="under")
+        assert brute_pairs(relation) <= brute_pairs(over.relation)
+        assert brute_pairs(over.relation) >= truth
+        assert brute_pairs(under.relation) <= truth
+        if over.exact:
+            assert brute_pairs(over.relation) == truth
+        if under.exact:
+            assert brute_pairs(under.relation) == truth
+
+    def test_closure_is_idempotent_when_exact(self):
+        relation = union_of_translations(SPACE2, [(1, 0), (0, 1)])
+        first = transitive_closure(relation)
+        if not first.exact:
+            pytest.skip("closure not exact on this family")
+        second = transitive_closure(first.relation)
+        assert brute_pairs(second.relation) == brute_pairs(first.relation)
+
+
+class TestGenericRelations:
+    def test_reflection_closure_reaches_fixpoint_exactly(self):
+        # i -> (j, i) on a box: applying twice gives the identity, so the
+        # closure is the 2-cycle orbit — finite, and the saturation loop
+        # certifies the fixpoint (exact).
+        from repro.rel import in_name, out_name
+        from repro.sets import Constraint, EQ
+
+        domain = box_domain(SPACE2, BOX)
+        swap = AffineRelation.universal(domain, domain).restrict(
+            [
+                Constraint(
+                    LinExpr({out_name(0): 1, in_name(1): -1}), EQ
+                ),
+                Constraint(
+                    LinExpr({out_name(1): 1, in_name(0): -1}), EQ
+                ),
+            ]
+        )
+        result = transitive_closure(swap)
+        truth = brute_closure(brute_pairs(swap))
+        assert result.exact
+        assert brute_pairs(result.relation) == truth
+
+    def test_inexact_over_closure_is_a_superset(self):
+        # A translation with no unit coordinate: the step counter cannot be
+        # eliminated exactly, so the closure must flag itself and
+        # over-approximate.
+        relation = translation_relation(SPACE2, 6, (2, 2))
+        result = transitive_closure(relation)
+        truth = brute_closure(brute_pairs(relation))
+        assert brute_pairs(result.relation) >= truth
+        if brute_pairs(result.relation) != truth:
+            assert not result.exact
+
+    def test_empty_relation_closure(self):
+        empty = AffineRelation.empty(SPACE2, SPACE2)
+        result = transitive_closure(empty)
+        assert result.exact
+        assert result.relation.is_obviously_empty()

@@ -1,0 +1,166 @@
+"""AffineRelation algebra: constructors, operations, and hypothesis laws.
+
+Every property is checked against brute-force pair enumeration on small
+concrete boxes — the relation is, extensionally, nothing but a set of point
+pairs, so set algebra is the ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rel import AffineRelation, in_name, out_name, translation_of_piece
+from repro.sets import Constraint, EQ, LinExpr, Space
+
+from .conftest import (
+    box_domain,
+    box_space,
+    brute_pairs,
+    translation,
+    translation_relation,
+)
+
+BOX = 4
+
+#: Immutable (frozen dataclass) -- safe to share across hypothesis examples.
+SPACE2 = box_space("S", ("i", "j"))
+
+offsets2 = st.tuples(st.integers(-2, 2), st.integers(-2, 2))
+
+
+def compose_pairs(left: set, right: set) -> set:
+    return {(a, d) for a, b in left for c, d in right if b == c}
+
+
+class TestConstruction:
+    def test_from_function_matches_pointwise_application(self):
+        domain = box_domain(SPACE2, BOX)
+        function = translation(SPACE2, (1, 0))
+        relation = AffineRelation.from_function(domain, function, SPACE2)
+        for point in domain.enumerate_points({}):
+            image = function.apply_to_point(point, {})
+            assert relation.contains_pair(point, image, {})
+        assert relation.exact
+
+    def test_identity_relates_exactly_equal_points(self):
+        identity = AffineRelation.identity(SPACE2)
+        assert identity.contains_pair((2, 3), (2, 3), {})
+        assert not identity.contains_pair((2, 3), (3, 2), {})
+
+    def test_universal_relates_every_pair(self):
+        domain = box_domain(SPACE2, 3)
+        universal = AffineRelation.universal(domain, domain)
+        pairs = brute_pairs(universal)
+        assert len(pairs) == 9 * 9
+
+    def test_space_mismatch_is_rejected(self):
+        other = box_space("T", ("a",))
+        r1 = translation_relation(SPACE2, BOX, (1, 0))
+        r2 = AffineRelation.identity(other)
+        with pytest.raises(ValueError):
+            r1.union(r2)
+        with pytest.raises(ValueError):
+            r1.compose(r2)
+
+    def test_translation_of_piece_recognises_offsets(self):
+        relation = translation_relation(SPACE2, BOX, (1, -2))
+        assert translation_of_piece(relation, relation.pieces[0]) == (1, -2)
+        # A reflection is not a translation.
+        domain = box_domain(SPACE2, BOX)
+        reflect = AffineRelation.universal(domain, domain).restrict(
+            [
+                Constraint(LinExpr({out_name(0): 1, in_name(0): -1}), EQ),
+                Constraint(LinExpr({out_name(1): 1, in_name(1): 1}, -3), EQ),
+            ]
+        )
+        assert translation_of_piece(reflect, reflect.pieces[0]) is None
+
+
+class TestAlgebra:
+    @settings(max_examples=20, deadline=None)
+    @given(a=offsets2, b=offsets2)
+    def test_compose_matches_pair_composition(self, a, b):
+        ra = translation_relation(SPACE2, BOX, a)
+        rb = translation_relation(SPACE2, BOX, b)
+        expected = compose_pairs(brute_pairs(ra), brute_pairs(rb))
+        assert brute_pairs(ra.compose(rb)) == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=offsets2, b=offsets2, c=offsets2)
+    def test_compose_is_associative(self, a, b, c):
+        ra = translation_relation(SPACE2, BOX, a)
+        rb = translation_relation(SPACE2, BOX, b)
+        rc = translation_relation(SPACE2, BOX, c)
+        left = ra.compose(rb).compose(rc)
+        right = ra.compose(rb.compose(rc))
+        assert brute_pairs(left) == brute_pairs(right)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=offsets2)
+    def test_inverse_swaps_pairs(self, a):
+        relation = translation_relation(SPACE2, BOX, a)
+        assert brute_pairs(relation.inverse()) == {
+            (y, x) for x, y in brute_pairs(relation)
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=offsets2, b=offsets2)
+    def test_union_and_intersection_are_set_ops(self, a, b):
+        ra = translation_relation(SPACE2, BOX, a)
+        rb = translation_relation(SPACE2, BOX, b)
+        assert brute_pairs(ra.union(rb)) == brute_pairs(ra) | brute_pairs(rb)
+        assert brute_pairs(ra.intersect(rb)) == brute_pairs(ra) & brute_pairs(rb)
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=offsets2)
+    def test_domain_and_range_project_the_pairs(self, a):
+        relation = translation_relation(SPACE2, BOX, a)
+        pairs = brute_pairs(relation)
+        assert set(relation.domain().enumerate_points({})) == {x for x, _ in pairs}
+        assert set(relation.range().enumerate_points({})) == {y for _, y in pairs}
+
+    def test_apply_is_the_image(self):
+        relation = translation_relation(SPACE2, BOX, (1, 1))
+        sub = box_domain(SPACE2, 2)  # the 2x2 corner
+        image = set(relation.apply(sub).enumerate_points({}))
+        assert image == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=offsets2, b=offsets2)
+    def test_is_subset_agrees_with_pair_inclusion(self, a, b):
+        ra = translation_relation(SPACE2, BOX, a)
+        rb = translation_relation(SPACE2, BOX, b)
+        union = ra.union(rb)
+        assert ra.is_subset(union)
+        if not (brute_pairs(ra) <= brute_pairs(rb)):
+            assert not ra.is_subset(rb)
+
+    def test_restrict_domain_and_range(self):
+        relation = translation_relation(SPACE2, BOX, (1, 0))
+        corner = box_domain(SPACE2, 2)
+        restricted = relation.restrict_domain(corner)
+        assert brute_pairs(restricted) == {
+            (x, y) for x, y in brute_pairs(relation) if x in {(0, 0), (0, 1), (1, 0), (1, 1)}
+        }
+        restricted = relation.restrict_range(corner)
+        assert brute_pairs(restricted) == {
+            (x, y) for x, y in brute_pairs(relation) if y in {(0, 0), (0, 1), (1, 0), (1, 1)}
+        }
+
+
+class TestParametricPieces:
+    def test_parametric_domain_membership(self):
+        space = Space("S", ("i",), ("N",))
+        from repro.sets import BasicSet, ParamSet
+
+        domain = ParamSet.from_basic(
+            BasicSet.from_bounds(space, {"i": (0, LinExpr({"N": 1}, -1))})
+        )
+        relation = AffineRelation.from_function(
+            domain,
+            translation(space, (1,)),
+            space,
+        ).restrict_range(domain)
+        assert relation.contains_pair((3,), (4,), {"N": 6})
+        assert not relation.contains_pair((5,), (6,), {"N": 6})  # image out of range
