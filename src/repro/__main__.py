@@ -6,10 +6,12 @@ Subcommands
     Derive the I/O lower bound for one PolyBench kernel and print (or dump as
     JSON) the resulting formulae.
 
-``suite [--kernels ...] [--jobs N] --json out.json``
+``suite [--kernels ...] [--executor thread --jobs N] --json out.json``
     Run the derivation over the PolyBench suite through
     :meth:`repro.analysis.Analyzer.analyze_many` and persist every result as
-    a reloadable JSON document.
+    a reloadable JSON document.  All kernels' derivation tasks flow through
+    one shared executor (``--jobs 8`` schedules the whole suite's tasks in a
+    single work queue).
 
 ``kernels``
     List the registered PolyBench kernels.
@@ -43,6 +45,7 @@ from .analysis import (
     reset_derivation_count,
     save_results,
 )
+from .analysis.executor import EXECUTOR_NAMES
 from .core.wavefront import VALIDATION_MODES
 from .polybench import all_kernels, analyze_suite, get_kernel, kernel_names
 
@@ -88,6 +91,18 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
              "algebra (Algorithm 5, default) or concrete CDAG expansion",
     )
     group.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help="task executor: serial (default), thread (one shared thread "
+             "pool), or process (worker processes); unset consults "
+             "$REPRO_EXECUTOR, then picks process when --jobs > 1",
+    )
+    group.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel workers for the task executor (threads or processes, "
+             "depending on --executor); every (statement x strategy x depth) "
+             "derivation task is scheduled independently",
+    )
+    group.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="bound store root (default: $REPRO_STORE or ~/.cache/repro)",
     )
@@ -115,8 +130,10 @@ def _config_for(args: argparse.Namespace, spec_max_depth: int) -> AnalysisConfig
         kwargs["gamma"] = args.gamma
     if args.strategies is not None:
         kwargs["strategies"] = tuple(args.strategies)
-    if getattr(args, "jobs", None):
-        kwargs["n_jobs"] = args.jobs
+    if getattr(args, "jobs", None) is not None:
+        kwargs["n_jobs"] = args.jobs  # 0 and negatives reach config validation
+    if getattr(args, "executor", None) is not None:
+        kwargs["executor"] = args.executor
     return AnalysisConfig(**kwargs)
 
 
@@ -173,7 +190,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
     store = _store_for(args)
     reset_derivation_count()
-    analyses = analyze_suite(names, n_jobs=args.jobs, store=store, **overrides)
+    analyses = analyze_suite(
+        names, n_jobs=args.jobs, executor=args.executor, store=store, **overrides
+    )
     results = [analysis.result for analysis in analyses]
 
     derived = derivation_count()
@@ -215,6 +234,8 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     for schema, count in sorted(stats.schema_versions.items()):
         label = "unreadable" if schema < 0 else f"schema {schema}"
         print(f"  {label:<11}: {count} entries")
+    for kind, count in sorted(stats.kinds.items()):
+        print(f"  kind {kind:<6}: {count} entries")
     return 0
 
 
@@ -261,7 +282,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kernel subset (default: the whole suite)")
     suite.add_argument("--json", default=None, metavar="FILE",
                        help="write all results as one JSON document")
-    suite.add_argument("--jobs", type=int, default=1, help="worker processes")
     _add_config_arguments(suite)
     suite.set_defaults(handler=_cmd_suite)
 

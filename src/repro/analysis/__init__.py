@@ -9,9 +9,17 @@ kept for backward compatibility):
 * :class:`BoundStrategy` / :func:`register_strategy` — the pluggable
   sub-bound derivation families run by the Algorithm 6 driver
   (:class:`KPartitionStrategy` and :class:`WavefrontStrategy` are built in);
+* :mod:`~repro.analysis.plan` / :mod:`~repro.analysis.executor` — the
+  plan -> execute -> combine pipeline: every derivation is an explicit list
+  of independent :class:`DerivationTask` units scheduled over a pluggable
+  :class:`Executor` (:class:`SerialExecutor`, :class:`ThreadExecutor`,
+  :class:`ProcessExecutor`; selected via ``AnalysisConfig(executor=...,
+  n_jobs=...)`` or ``$REPRO_EXECUTOR``), with results combined in plan order
+  so every executor produces byte-identical bounds;
 * :class:`Analyzer` — ``analyze(program)`` for one program,
-  ``analyze_many(programs)`` for batches with process fan-out and on-disk
-  memoisation keyed by :func:`program_fingerprint`;
+  ``analyze_many(programs)`` for batches (the whole batch's tasks flow
+  through one shared executor) with on-disk memoisation keyed by
+  :func:`program_fingerprint` at both the result and the task level;
 * :class:`BoundStore` — the shared content-addressed persistent store behind
   that memoisation (``$REPRO_STORE`` / ``~/.cache/repro``), with schema
   negotiation, LRU eviction and ``stats``/``gc``/``clear`` maintenance;
@@ -30,10 +38,15 @@ Typical usage::
 from .analyzer import (
     DERIVATION_VERSION,
     Analyzer,
+    combine_plan,
     derivation_count,
+    execute_plan,
+    execute_plans,
     program_fingerprint,
     reset_derivation_count,
+    reset_task_derivation_count,
     run_analysis,
+    task_derivation_count,
 )
 from .config import (
     DEFAULT_CACHE_SIZE,
@@ -42,6 +55,21 @@ from .config import (
     DEFAULT_PARAM_VALUE,
     DEFAULT_STRATEGIES,
     AnalysisConfig,
+)
+from .executor import (
+    EXECUTOR_ENV,
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
+from .plan import (
+    DerivationPlan,
+    DerivationTask,
+    TaskResult,
+    plan_program,
 )
 from .serialization import (
     load_results,
@@ -82,25 +110,41 @@ __all__ = [
     "DEFAULT_PARAM_VALUE",
     "DEFAULT_STRATEGIES",
     "DERIVATION_VERSION",
+    "DerivationPlan",
+    "DerivationTask",
+    "EXECUTOR_ENV",
+    "EXECUTOR_NAMES",
+    "Executor",
     "KPartitionStrategy",
+    "ProcessExecutor",
     "STORE_ENV",
     "STORE_SCHEMA",
+    "SerialExecutor",
     "StoreStats",
+    "TaskResult",
+    "ThreadExecutor",
     "WavefrontStrategy",
     "available_strategies",
+    "combine_plan",
     "default_store_root",
     "derivation_count",
+    "execute_plan",
+    "execute_plans",
     "get_strategy",
     "load_results",
     "parse_size",
+    "plan_program",
     "program_fingerprint",
     "register_strategy",
     "reset_derivation_count",
+    "reset_task_derivation_count",
+    "resolve_executor",
     "resolve_store",
     "resolve_strategies",
     "results_from_document",
     "results_to_document",
     "run_analysis",
     "save_results",
+    "task_derivation_count",
     "unregister_strategy",
 ]

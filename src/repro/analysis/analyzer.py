@@ -2,9 +2,24 @@
 
 The analyzer separates *what* to derive (the strategies and knobs captured by
 :class:`~repro.analysis.config.AnalysisConfig`) from *how* the derivation is
-executed: one program (:meth:`Analyzer.analyze`), or a batch fanned out over
-worker processes (:meth:`Analyzer.analyze_many`), in both cases memoised
-through a shared content-addressed :class:`~repro.analysis.store.BoundStore`.
+executed.  A derivation is an explicit three-stage pipeline:
+
+1. **plan** — :func:`repro.analysis.plan.plan_program` asks every configured
+   strategy for its independent :class:`~repro.analysis.plan.DerivationTask`
+   units (one per statement x strategy x depth);
+2. **execute** — :func:`execute_plans` runs the tasks over a pluggable
+   :class:`~repro.analysis.executor.Executor` (serial, thread pool or
+   process pool, selected by ``AnalysisConfig(executor=..., n_jobs=...)`` or
+   ``$REPRO_EXECUTOR``), memoising each finished task in the
+   :class:`~repro.analysis.store.BoundStore` keyed by its task fingerprint;
+3. **combine** — :func:`combine_plan` merges the task results **in plan
+   order** (never completion order) through the decomposition lemma, so the
+   final bound, its sub-bound list and its log are byte-identical across
+   executors and schedulings.
+
+:meth:`Analyzer.analyze_many` feeds the whole batch's task set through one
+shared executor — a single ``suite --jobs 8`` schedules every kernel's tasks
+in one work queue instead of paying a pool per program.
 
 The legacy :func:`repro.core.iolb.derive_bounds` free function is now a thin
 wrapper over this class.
@@ -12,87 +27,203 @@ wrapper over this class.
 
 from __future__ import annotations
 
-import concurrent.futures
 import hashlib
+import threading
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import sympy
 
 from ..core.bounds import IOBoundResult, SubBound, asymptotic_leading
 from ..core.decomposition import combine_sub_q
-from ..ir import AffineProgram, DFG
+from ..ir import AffineProgram
 from .config import AnalysisConfig
+from .executor import Executor, resolve_executor
+from .plan import (
+    DerivationPlan,
+    TaskResult,
+    dfg_for,
+    plan_program,
+    program_fingerprint,
+    run_strategy_task,
+)
 from .store import DERIVATION_VERSION, BoundStore, resolve_store
-from .strategies import resolve_strategies
+from .strategies import get_strategy
 
-#: Process-wide count of full derivations actually executed (store hits do
-#: not count).  Lets suites, benchmarks and tests assert that a warm store
-#: run performs *zero* derivations.
+# -- derivation counters ------------------------------------------------------
+#
+# Two granularities, one lock.  The *program* counter backs the warm-store
+# invariant (a warm suite run performs zero derivations); the *task* counter
+# backs resume tests (a half-finished run re-executes only the missing
+# tasks).  Both are counted on the requester side — also for tasks that ran
+# in a worker process — so the numbers mean the same thing on every executor.
+
+_count_lock = threading.Lock()
 _derivations = 0
+_task_derivations = 0
 
 
 def derivation_count() -> int:
-    """Number of full derivations run in this process since the last reset."""
+    """Number of full program derivations run since the last reset.
+
+    Counts every :func:`run_analysis`-equivalent pipeline run that was not
+    served from the result-level store (task-level store hits inside a run
+    do not make it free: the plan and combination still execute).
+    """
     return _derivations
 
 
 def reset_derivation_count() -> int:
     """Reset the process-wide derivation counter; returns the prior count."""
     global _derivations
-    previous = _derivations
-    _derivations = 0
+    with _count_lock:
+        previous = _derivations
+        _derivations = 0
     return previous
 
 
-def program_fingerprint(program: AffineProgram) -> str:
-    """Stable hex fingerprint of an affine program's mathematical content.
+def task_derivation_count() -> int:
+    """Number of individual derivation tasks executed since the last reset.
 
-    The fingerprint is built from a canonical textual description (name,
-    parameters, array/statement domains, dependence functions) rather than
-    from pickled bytes, so it is insensitive to object identity and to the
-    order in which arrays, statements or dependences were declared.
+    Task-level store hits do not count; tasks executed in worker threads or
+    processes do (they are accounted on the requester side as their results
+    arrive, so the granularity is identical across executors).
     """
-    lines = [f"program {program.name}", "params " + " ".join(program.params)]
-    for name in sorted(program.arrays):
-        array = program.arrays[name]
-        lines.append(
-            f"array {name} input={array.is_input} output={array.is_output} "
-            f"domain={array.domain!r}"
-        )
-    for name in sorted(program.statements):
-        statement = program.statements[name]
-        lines.append(f"statement {name} flops={statement.flops} domain={statement.domain!r}")
-    for dep in sorted(
-        program.dependences,
-        key=lambda d: (d.sink, d.source, repr(d.function.exprs), repr(d.domain)),
-    ):
-        lines.append(
-            f"dep {dep.source}->{dep.sink} fn={dep.function.exprs!r} domain={dep.domain!r}"
-        )
-    digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
-    return digest.hexdigest()
+    return _task_derivations
 
 
-def run_analysis(program: AffineProgram, config: AnalysisConfig) -> IOBoundResult:
-    """One full derivation (Algorithm 6) — the cache- and pool-free core.
+def reset_task_derivation_count() -> int:
+    """Reset the process-wide task counter; returns the prior count."""
+    global _task_derivations
+    with _count_lock:
+        previous = _task_derivations
+        _task_derivations = 0
+    return previous
 
-    Runs every strategy named by ``config`` in order, combines the collected
-    sub-bounds with the non-disjoint decomposition lemma (Alg. 1), adds the
-    compulsory input misses and clamps at zero:
+
+def _count_program_derivation() -> None:
+    global _derivations
+    with _count_lock:
+        _derivations += 1
+
+
+def _count_task_derivations(count: int) -> None:
+    global _task_derivations
+    with _count_lock:
+        _task_derivations += count
+
+
+def _execute_payload(payload: tuple) -> TaskResult:
+    """Module-level task entry point (must be picklable for process pools).
+
+    The DFG comes from the per-process cache shared with the planner
+    (:func:`repro.analysis.plan.dfg_for`): in-process executors reuse the
+    plan-time DFG, a pool worker builds it once per program.  The plan's
+    fingerprint rides along so the cache lookup never re-hashes the program.
+    """
+    program, config, task, fingerprint = payload
+    dfg = dfg_for(program, fingerprint)
+    strategy = get_strategy(task.strategy)
+    instance = config.heuristic_instance(program.params)
+    return run_strategy_task(strategy, dfg, config, instance, task)
+
+
+# -- the pipeline stages ------------------------------------------------------
+
+
+def execute_plans(
+    plans: Sequence[DerivationPlan],
+    executor: Executor | str | None = None,
+    store: BoundStore | None = None,
+) -> list[list[TaskResult]]:
+    """Execute every task of every plan through one shared executor.
+
+    Tasks already present in ``store`` (matched by task fingerprint) are
+    reloaded instead of re-executed; freshly executed tasks are written back
+    one by one as they complete, so a run killed half-way leaves its
+    finished sub-bounds behind for the next run to resume from.
+
+    Returns one ``TaskResult`` list per plan, each in **plan order**
+    regardless of the order in which the executor completed the tasks.
+    """
+    if not plans:
+        return []
+    owns_executor = executor is None or isinstance(executor, str)
+    resolved = resolve_executor(
+        executor if executor is not None else plans[0].config.executor,
+        plans[0].config.n_jobs,
+    )
+
+    results: list[list[TaskResult | None]] = [[None] * len(plan.tasks) for plan in plans]
+    pending: list[tuple[int, int]] = []  # (plan index, task index)
+    keys: dict[tuple[int, int], str] = {}
+    for plan_index, plan in enumerate(plans):
+        for task_index, task in enumerate(plan.tasks):
+            if store is not None:
+                key = plan.task_key(task)
+                keys[(plan_index, task_index)] = key
+                payload = store.get_task(key)
+                if payload is not None:
+                    try:
+                        results[plan_index][task_index] = TaskResult.from_dict(
+                            payload, task=task
+                        )
+                        continue
+                    except (KeyError, ValueError, TypeError):
+                        pass  # unreadable entry: fall through and re-derive
+            pending.append((plan_index, task_index))
+
+    if pending:
+        payloads = [
+            (plans[i].program, plans[i].config, plans[i].tasks[j], plans[i].fingerprint)
+            for i, j in pending
+        ]
+        try:
+            for index, task_result in resolved.map(_execute_payload, payloads):
+                plan_index, task_index = pending[index]
+                results[plan_index][task_index] = task_result
+                _count_task_derivations(1)
+                if store is not None:
+                    # Persist immediately: completion order does not matter
+                    # for correctness, and a crash loses only in-flight tasks.
+                    store.put_task(keys[(plan_index, task_index)], task_result.to_dict())
+        finally:
+            if owns_executor:
+                resolved.close()
+
+    # Every slot is filled: tasks were either reloaded or executed above (an
+    # executor failure propagates out of the loop instead of leaving holes).
+    return [list(plan_results) for plan_results in results]  # type: ignore[arg-type]
+
+
+def execute_plan(
+    plan: DerivationPlan,
+    executor: Executor | str | None = None,
+    store: BoundStore | None = None,
+) -> list[TaskResult]:
+    """Execute one plan's tasks (see :func:`execute_plans`)."""
+    return execute_plans([plan], executor=executor, store=store)[0]
+
+
+def combine_plan(
+    plan: DerivationPlan, task_results: Sequence[TaskResult]
+) -> IOBoundResult:
+    """Combine executed tasks into the final bound (deterministic stage).
+
+    ``task_results`` must be in plan order; the sub-bound list and the log
+    are their concatenation in that order, followed by the decomposition
+    lemma (Alg. 1), the compulsory input misses and the clamp at zero:
 
         Q_low  =  |inputs|  +  max(0, combined sub-bounds).
     """
-    global _derivations
-    _derivations += 1
-    strategies = resolve_strategies(config.strategies)
-    dfg = DFG.from_program(program)
-    instance = config.heuristic_instance(program.params)
+    program = plan.program
+    instance = plan.config.heuristic_instance(program.params)
 
     log: list[str] = []
     sub_bounds: list[SubBound] = []
-    for strategy in strategies:
-        sub_bounds.extend(strategy.derive(dfg, config, instance, log))
+    for task_result in task_results:
+        sub_bounds.extend(task_result.sub_bounds)
+        log.extend(task_result.log)
 
     combined, accepted = combine_sub_q(sub_bounds, instance)
     log.append(f"combined {len(accepted)}/{len(sub_bounds)} sub-bounds")
@@ -117,10 +248,23 @@ def run_analysis(program: AffineProgram, config: AnalysisConfig) -> IOBoundResul
     )
 
 
-def _analyze_for_pool(payload: tuple[AffineProgram, AnalysisConfig]) -> IOBoundResult:
-    """Module-level worker entry point (must be picklable for process pools)."""
-    program, config = payload
-    return run_analysis(program, config)
+def run_analysis(
+    program: AffineProgram,
+    config: AnalysisConfig,
+    executor: Executor | str | None = None,
+    store: BoundStore | None = None,
+) -> IOBoundResult:
+    """One full derivation (Algorithm 6): plan, execute, combine.
+
+    The result-cache-free core.  ``executor`` defaults to the config's
+    (``AnalysisConfig(executor=...)`` / ``$REPRO_EXECUTOR`` / serial);
+    passing a ``store`` additionally memoises the individual tasks, so an
+    interrupted run resumes from its finished sub-bounds.
+    """
+    _count_program_derivation()
+    plan = plan_program(program, config)
+    task_results = execute_plan(plan, executor=executor, store=store)
+    return combine_plan(plan, task_results)
 
 
 class Analyzer:
@@ -136,11 +280,13 @@ class Analyzer:
 
     With a :class:`~repro.analysis.store.BoundStore` attached (an explicit
     ``store=`` argument, or ``config.cache_dir`` as a thin alias for a store
-    rooted there), results are memoised on disk keyed by the program
-    fingerprint and the result-relevant part of the configuration, so
-    repeated suite runs, benchmarks and multi-process batches skip finished
-    derivations entirely.  Pass ``store=BoundStore()`` to share the default
-    per-user store (``$REPRO_STORE`` or ``~/.cache/repro``).
+    rooted there), results are memoised on disk at two granularities: whole
+    results keyed by the program fingerprint and the result-relevant part of
+    the configuration, and individual derivation tasks keyed by their task
+    fingerprints — so repeated runs skip everything, and interrupted or
+    config-tweaked runs skip everything that still applies.  Pass
+    ``store=BoundStore()`` to share the default per-user store
+    (``$REPRO_STORE`` or ``~/.cache/repro``).
     """
 
     def __init__(
@@ -153,26 +299,38 @@ class Analyzer:
 
     # -- single-program entry point -----------------------------------------
 
-    def analyze(self, program: AffineProgram) -> IOBoundResult:
+    def analyze(
+        self, program: AffineProgram, executor: Executor | str | None = None
+    ) -> IOBoundResult:
         """Derive the parametric I/O lower bound for one program."""
         cached = self._cache_load(program)
         if cached is not None:
             return cached
-        result = run_analysis(program, self.config)
+        result = run_analysis(program, self.config, executor=executor, store=self.store)
         self._cache_store(program, result)
         return result
 
+    def plan(self, program: AffineProgram) -> DerivationPlan:
+        """The derivation plan this analyzer would execute for ``program``."""
+        return plan_program(program, self.config)
+
     # -- batch entry point ---------------------------------------------------
 
-    def analyze_many(self, programs: Iterable[AffineProgram]) -> list[IOBoundResult]:
+    def analyze_many(
+        self,
+        programs: Iterable[AffineProgram],
+        executor: Executor | str | None = None,
+    ) -> list[IOBoundResult]:
         """Derive bounds for a batch of programs, preserving input order.
 
-        With ``config.n_jobs > 1`` the uncached derivations are fanned out
-        over a process pool; cached results are returned without spawning
-        workers.  The output list is index-aligned with ``programs`` — every
-        program yields exactly one result, and a derivation that silently
-        produces nothing raises :class:`RuntimeError` rather than shifting
-        later results onto earlier slots.
+        All uncached derivations are planned first, and the union of their
+        tasks is fed through **one** executor (the config's, or an explicit
+        ``executor=`` — pass a live instance to share one pool across
+        batches); cached results are returned without scheduling anything.
+        The output list is index-aligned with ``programs`` — every program
+        yields exactly one result, and a derivation that silently produces
+        nothing raises :class:`RuntimeError` rather than shifting later
+        results onto earlier slots.
         """
         batch: Sequence[AffineProgram] = list(programs)
         results: list[IOBoundResult | None] = [None] * len(batch)
@@ -193,35 +351,18 @@ class Analyzer:
                 by_key.setdefault(self.cache_key(batch[index]), []).append(index)
             groups = list(by_key.values())
 
-            workers = min(self.config.n_jobs, len(groups))
-            if workers <= 1:
-                for indices in groups:
-                    result = run_analysis(batch[indices[0]], self.config)
-                    self._cache_store(batch[indices[0]], result)
-                    for index in indices:
-                        results[index] = result
-            else:
-                global _derivations
-                # Workers only need the result-relevant knobs; stripping the
-                # executor fields keeps the pickled payload lean and stops a
-                # worker from ever re-entering the pool or the cache.
-                worker_config = self.config.replace(n_jobs=1, cache_dir=None)
-                with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(
-                            _analyze_for_pool, (batch[indices[0]], worker_config)
-                        ): indices
-                        for indices in groups
-                    }
-                    for future in concurrent.futures.as_completed(futures):
-                        indices = futures[future]
-                        result = future.result()
-                        # The worker ran run_analysis in its own process, so
-                        # account for the derivation here, in the requester.
-                        _derivations += 1
-                        self._cache_store(batch[indices[0]], result)
-                        for index in indices:
-                            results[index] = result
+            plans = [plan_program(batch[indices[0]], self.config) for indices in groups]
+            per_plan = execute_plans(
+                plans,
+                executor=executor if executor is not None else self.config.executor,
+                store=self.store,
+            )
+            for plan, indices, task_results in zip(plans, groups, per_plan):
+                _count_program_derivation()
+                result = combine_plan(plan, task_results)
+                self._cache_store(batch[indices[0]], result)
+                for index in indices:
+                    results[index] = result
 
         missing = [index for index, result in enumerate(results) if result is None]
         if missing:

@@ -76,8 +76,17 @@ class AnalysisConfig:
         implementations to run, in order.  Names are resolved against the
         strategy registry at analysis time, so strategies registered after
         the config was created are usable.
+    executor:
+        How derivation tasks are executed: ``"serial"`` (in-process, the
+        default), ``"thread"`` (a shared thread pool), or ``"process"`` (a
+        shared process pool).  ``None`` consults ``$REPRO_EXECUTOR`` and
+        finally picks ``"process"`` when ``n_jobs > 1``, ``"serial"``
+        otherwise — so ``n_jobs=8`` alone keeps the historical process
+        fan-out behaviour.  Executors change *how fast* the analysis runs,
+        never *what* it computes: results are combined in plan order, so
+        they are byte-identical across executors.
     n_jobs:
-        Process-level parallelism of :meth:`Analyzer.analyze_many`.  1 means
+        Worker count of the task executor (threads or processes).  1 means
         sequential in-process execution.
     cache_dir:
         Thin alias for a result store: when set, the
@@ -96,6 +105,7 @@ class AnalysisConfig:
     wavefront_validation_instance: Mapping[str, int] | None = None
     max_subcdags_per_statement: int = DEFAULT_MAX_SUBCDAGS_PER_STATEMENT
     strategies: tuple[str, ...] = DEFAULT_STRATEGIES
+    executor: str | None = None
     n_jobs: int = 1
     cache_dir: str | Path | None = None
 
@@ -126,6 +136,13 @@ class AnalysisConfig:
             )
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        from .executor import EXECUTOR_NAMES
+
+        if self.executor is not None and self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_NAMES} (or None for "
+                f"$REPRO_EXECUTOR / automatic), got {self.executor!r}"
+            )
         from ..core.wavefront import VALIDATION_MODES
 
         if self.wavefront_validation not in VALIDATION_MODES:
@@ -156,9 +173,10 @@ class AnalysisConfig:
     def signature(self) -> tuple:
         """Hashable summary of every field that influences the *result*.
 
-        ``n_jobs`` and ``cache_dir`` change how the analysis is executed, not
-        what it computes, so they are excluded — a cached result stays valid
-        when only those fields differ.
+        ``executor``, ``n_jobs`` and ``cache_dir`` change how the analysis
+        is executed, not what it computes (results are combined in plan
+        order on every executor), so they are excluded — a cached result
+        stays valid when only those fields differ.
         """
         return (
             None if self.instance is None else tuple(sorted(self.instance.items())),
@@ -190,6 +208,7 @@ class AnalysisConfig:
             ),
             "max_subcdags_per_statement": self.max_subcdags_per_statement,
             "strategies": list(self.strategies),
+            "executor": self.executor,
             "n_jobs": self.n_jobs,
             "cache_dir": None if self.cache_dir is None else str(self.cache_dir),
         }

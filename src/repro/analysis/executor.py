@@ -1,0 +1,181 @@
+"""Pluggable task executors: the *how* of the derivation pipeline.
+
+A plan (:mod:`repro.analysis.plan`) is a list of independent tasks; an
+:class:`Executor` decides where they run:
+
+* :class:`SerialExecutor` — in-process, one after the other (the default);
+* :class:`ThreadExecutor` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (cheap to start, shares the in-process DFG/relation caches; the work is
+  pure Python, so the GIL bounds the speedup);
+* :class:`ProcessExecutor` — a shared :class:`~concurrent.futures.ProcessPoolExecutor`
+  (true parallelism; tasks, programs and configs are pickled to the
+  workers).
+
+Executors expose one operation, :meth:`Executor.map`, which yields
+``(index, result)`` pairs **in completion order**.  Consumers that need
+determinism (all of them) must re-order by index — the combination step of
+:func:`repro.analysis.analyzer.execute_plans` does exactly that, which is
+what makes the final bound independent of scheduling.
+
+Pools are created lazily on first use and kept open across ``map`` calls, so
+a whole suite batch (every kernel's tasks) flows through **one** work queue
+instead of paying a pool startup per program; close an executor explicitly
+(or use it as a context manager) when done.
+
+Trust boundary: the process executor runs the same code as the caller, in
+child processes of the caller, with the caller's privileges — it is a
+throughput device, not a sandbox.  Task payloads and results cross the
+boundary by pickling; never feed a store you do not trust into a process
+that unpickles from it.
+
+Selection: :func:`resolve_executor` honours, in order, an explicit
+instance/name, ``$REPRO_EXECUTOR``, then falls back to ``"process"`` when
+``n_jobs > 1`` (matching the historical process fan-out of
+``Analyzer.analyze_many``) and ``"serial"`` otherwise.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
+
+#: Environment variable naming the default executor.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Names accepted by :func:`resolve_executor` and ``AnalysisConfig.executor``.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Runs independent task payloads, yielding results as they complete."""
+
+    #: Registry name (``"serial"``, ``"thread"``, ``"process"``, ...).
+    name: str
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[tuple[int, Any]]:
+        """Apply ``fn`` to every item, yielding ``(input_index, result)``
+        pairs in completion order (NOT input order)."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker pool.  Idempotent."""
+        ...
+
+
+class _ExecutorBase:
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        jobs = getattr(self, "n_jobs", 1)
+        return f"{type(self).__name__}(n_jobs={jobs})"
+
+
+class SerialExecutor(_ExecutorBase):
+    """In-process sequential execution — the zero-dependency default."""
+
+    name = "serial"
+    n_jobs = 1
+
+    def __init__(self, n_jobs: int = 1):
+        # Accepts (and ignores) n_jobs so every executor constructs uniformly.
+        pass
+
+    def map(self, fn, items):
+        for index, item in enumerate(items):
+            yield index, fn(item)
+
+
+class _PoolExecutor(_ExecutorBase):
+    """Shared lazily-created pool; subclasses pick the pool class."""
+
+    _pool_factory: Callable[..., concurrent.futures.Executor]
+
+    def __init__(self, n_jobs: int = 2):
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = n_jobs
+        self._pool: concurrent.futures.Executor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.Executor:
+        if self._pool is None:
+            self._pool = type(self)._pool_factory(max_workers=self.n_jobs)
+        return self._pool
+
+    def map(self, fn, items):
+        items = list(items)
+        if len(items) <= 1:
+            # A single task gains nothing from a pool round-trip.  n_jobs=1
+            # still uses a real (one-worker) pool for longer maps: naming a
+            # pool executor means "run my tasks on workers", and the CI
+            # env-selection smoke relies on that actually happening.
+            for index, item in enumerate(items):
+                yield index, fn(item)
+            return
+        pool = self._ensure_pool()
+        futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+        for future in concurrent.futures.as_completed(futures):
+            yield futures[future], future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution: shared memory, shared caches, GIL-bounded."""
+
+    name = "thread"
+    _pool_factory = staticmethod(concurrent.futures.ThreadPoolExecutor)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool execution: true parallelism, pickled payloads."""
+
+    name = "process"
+    _pool_factory = staticmethod(concurrent.futures.ProcessPoolExecutor)
+
+
+_EXECUTOR_CLASSES = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def resolve_executor(
+    executor: "Executor | str | None" = None, n_jobs: int = 1
+) -> Executor:
+    """Normalise the ways callers can name an executor.
+
+    ``executor`` may be an :class:`Executor` instance (passed through — the
+    caller keeps ownership and ``n_jobs`` is ignored), one of
+    :data:`EXECUTOR_NAMES`, or ``None``, which consults ``$REPRO_EXECUTOR``
+    and finally defaults to ``"process"`` when ``n_jobs > 1``, else
+    ``"serial"``.
+    """
+    if executor is not None and not isinstance(executor, str):
+        return executor
+    name = executor
+    if name is None:
+        name = os.environ.get(EXECUTOR_ENV) or None
+    if name is None:
+        name = "process" if n_jobs > 1 else "serial"
+    try:
+        cls = _EXECUTOR_CLASSES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+        ) from None
+    return cls(n_jobs=max(1, int(n_jobs)))

@@ -1,0 +1,267 @@
+"""Derivation planning: the *what* of Algorithm 6 as an explicit task graph.
+
+Algorithm 6 is embarrassingly parallel on the inside: every
+(statement x strategy x depth) sub-CDAG derivation is independent of every
+other one right up to the decomposition-lemma combination step.  This module
+makes that structure explicit.  A derivation is first *planned* — each
+registered :class:`~repro.analysis.strategies.BoundStrategy` turns the
+program's DFG into a list of :class:`DerivationTask` coordinates — and only
+then *executed*, task by task, over a pluggable
+:class:`~repro.analysis.executor.Executor` (serial, thread pool, or process
+pool; see :mod:`repro.analysis.executor`).
+
+Determinism rule
+----------------
+Task results are always combined in **plan order** (the order
+:meth:`DerivationPlan.tasks` lists them), never in completion order.  The
+final :class:`~repro.core.bounds.IOBoundResult` — its ``sub_bounds`` list,
+its ``log``, and hence its serialized bytes — is therefore identical across
+the serial, thread and process executors, and across any scheduling of the
+workers.
+
+Task fingerprints
+-----------------
+Every task has a stable fingerprint derived from
+:func:`program_fingerprint` + the task coordinates + the slice of the
+configuration that can influence *that task's* result (a strategy narrows
+this via ``task_signature``; e.g. a wavefront task does not key on
+``gamma``).  The fingerprint keys task-level entries in the
+:class:`~repro.analysis.store.BoundStore`, so a crashed or config-tweaked
+run (say, ``max_depth`` raised from 1 to 2) reuses every finished sub-bound
+instead of starting over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.bounds import SubBound
+from ..ir import AffineProgram, DFG
+from .config import AnalysisConfig
+from .store import DERIVATION_VERSION
+
+#: Statement sentinel for a whole-strategy task: a legacy strategy that only
+#: implements ``derive`` (no ``plan``/``run_task``) is scheduled as a single
+#: task spanning all of its statements.
+WHOLE_STRATEGY = "*"
+
+
+def program_fingerprint(program: AffineProgram) -> str:
+    """Stable hex fingerprint of an affine program's mathematical content.
+
+    The fingerprint is built from a canonical textual description (name,
+    parameters, array/statement domains, dependence functions) rather than
+    from pickled bytes, so it is insensitive to object identity and to the
+    order in which arrays, statements or dependences were declared.
+    """
+    lines = [f"program {program.name}", "params " + " ".join(program.params)]
+    for name in sorted(program.arrays):
+        array = program.arrays[name]
+        lines.append(
+            f"array {name} input={array.is_input} output={array.is_output} "
+            f"domain={array.domain!r}"
+        )
+    for name in sorted(program.statements):
+        statement = program.statements[name]
+        lines.append(f"statement {name} flops={statement.flops} domain={statement.domain!r}")
+    for dep in sorted(
+        program.dependences,
+        key=lambda d: (d.sink, d.source, repr(d.function.exprs), repr(d.domain)),
+    ):
+        lines.append(
+            f"dep {dep.source}->{dep.sink} fn={dep.function.exprs!r} domain={dep.domain!r}"
+        )
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# -- per-process DFG cache ----------------------------------------------------
+
+_DFG_CACHE_LIMIT = 8
+_dfg_cache_lock = threading.Lock()
+_dfg_cache: dict[str, DFG] = {}
+
+
+def dfg_for(program: AffineProgram, fingerprint: str | None = None) -> DFG:
+    """Build (or reuse) the DFG of a program, keyed by its fingerprint.
+
+    Both the planner and every executor's task entry point funnel through
+    here, so one process builds a program's DFG — and the relation caches
+    that accumulate on it — once, whether it is planning, executing
+    serially, or serving a worker pool.  Bounded so a long-lived service
+    cannot leak programs.
+    """
+    key = fingerprint if fingerprint is not None else program_fingerprint(program)
+    with _dfg_cache_lock:
+        cached = _dfg_cache.get(key)
+    if cached is not None:
+        return cached
+    dfg = DFG.from_program(program)
+    with _dfg_cache_lock:
+        while len(_dfg_cache) >= _DFG_CACHE_LIMIT:
+            _dfg_cache.pop(next(iter(_dfg_cache)))
+        _dfg_cache[key] = dfg
+    return dfg
+
+
+@dataclass(frozen=True)
+class DerivationTask:
+    """One schedulable unit of Algorithm 6: statement x strategy x depth.
+
+    A task is pure data (no callables), so it can be pickled to a process
+    pool and serialized into a store entry.  ``depth`` is the wavefront
+    parametrisation depth (0 for strategies without a depth notion, e.g.
+    K-partition tasks, whose internal same-statement rounds are sequential
+    by construction and stay inside one task).
+    """
+
+    strategy: str
+    statement: str
+    depth: int = 0
+
+    @property
+    def task_id(self) -> str:
+        """Human-readable stable identity used for ordering and logs."""
+        return f"{self.strategy}:{self.statement}:d{self.depth}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"strategy": self.strategy, "statement": self.statement, "depth": self.depth}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DerivationTask":
+        return cls(
+            strategy=data["strategy"],
+            statement=data["statement"],
+            depth=int(data.get("depth", 0)),
+        )
+
+
+@dataclass
+class TaskResult:
+    """The output of one executed task: its sub-bounds and its log lines."""
+
+    task: DerivationTask
+    sub_bounds: list[SubBound] = field(default_factory=list)
+    log: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": self.task.to_dict(),
+            "sub_bounds": [bound.to_dict() for bound in self.sub_bounds],
+            "log": list(self.log),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], task: DerivationTask | None = None
+    ) -> "TaskResult":
+        """Rebuild a result; ``task`` (when given) overrides the stored one.
+
+        Store lookups pass the *planned* task: the store key already binds
+        the coordinates, and the planned object keeps ``is`` identity with
+        the plan.
+        """
+        if task is None:
+            task = DerivationTask.from_dict(data["task"])
+        return cls(
+            task=task,
+            sub_bounds=[SubBound.from_dict(entry) for entry in data.get("sub_bounds", [])],
+            log=list(data.get("log", [])),
+        )
+
+
+@dataclass(frozen=True)
+class DerivationPlan:
+    """The full ordered task list for one (program, config) derivation."""
+
+    program: AffineProgram
+    config: AnalysisConfig
+    tasks: tuple[DerivationTask, ...]
+    fingerprint: str
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task_key(self, task: DerivationTask) -> str:
+        """Store key of a task-level entry (the task fingerprint).
+
+        Folds together the derivation-semantics version, the program
+        fingerprint, the task coordinates and the task-relevant config
+        signature.  Strategies narrow the last part via ``task_signature``
+        (e.g. a wavefront task is insensitive to ``gamma``, and no task keys
+        on ``max_depth`` — so raising it reuses every finished depth).  The
+        ``-task`` suffix keeps the key space disjoint from result-level
+        entries while sharding by the leading hex as usual.
+        """
+        from .strategies import get_strategy  # local: strategies imports this module
+
+        try:
+            strategy = get_strategy(task.strategy)
+        except KeyError:
+            strategy = None
+        signer = getattr(strategy, "task_signature", None)
+        signature = signer(self.config) if signer is not None else self.config.signature()
+        text = repr((DERIVATION_VERSION, self.fingerprint, task.task_id, signature))
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return f"{digest}-task"
+
+    def task_keys(self) -> list[str]:
+        return [self.task_key(task) for task in self.tasks]
+
+
+def plan_strategy(strategy, dfg: DFG, config: AnalysisConfig) -> list[DerivationTask]:
+    """The tasks one strategy contributes for one program.
+
+    Strategies that predate the task pipeline (only ``derive``) are planned
+    as a single whole-strategy task, so third-party plug-ins keep working
+    unchanged — they just cannot parallelise internally.
+    """
+    planner = getattr(strategy, "plan", None)
+    if planner is None:
+        return [DerivationTask(strategy=strategy.name, statement=WHOLE_STRATEGY)]
+    return list(planner(dfg, config))
+
+
+def run_strategy_task(
+    strategy,
+    dfg: DFG,
+    config: AnalysisConfig,
+    instance: Mapping[str, int],
+    task: DerivationTask,
+) -> TaskResult:
+    """Execute one task in-process (the executor-agnostic core)."""
+    runner = getattr(strategy, "run_task", None)
+    if runner is None or task.statement == WHOLE_STRATEGY:
+        log: list[str] = []
+        sub_bounds = strategy.derive(dfg, config, instance, log)
+        return TaskResult(task=task, sub_bounds=list(sub_bounds), log=log)
+    return runner(dfg, config, instance, task)
+
+
+def plan_program(
+    program: AffineProgram, config: AnalysisConfig, dfg: DFG | None = None
+) -> DerivationPlan:
+    """Plan the whole derivation: every strategy's tasks, in strategy order.
+
+    The plan is deterministic: strategies appear in ``config.strategies``
+    order and each strategy lists its tasks in a fixed (topological)
+    statement order — the exact order the monolithic ``derive`` loops used
+    to run in, so logs and sub-bound lists are bit-for-bit compatible.
+    """
+    from .strategies import resolve_strategies  # local: avoids import cycle
+
+    fingerprint = program_fingerprint(program)
+    if dfg is None:
+        dfg = dfg_for(program, fingerprint)
+    tasks: list[DerivationTask] = []
+    for strategy in resolve_strategies(config.strategies):
+        tasks.extend(plan_strategy(strategy, dfg, config))
+    return DerivationPlan(
+        program=program,
+        config=config,
+        tasks=tuple(tasks),
+        fingerprint=fingerprint,
+    )

@@ -122,6 +122,9 @@ class StoreStats:
     total_bytes: int = 0
     shards: int = 0
     schema_versions: dict[int, int] = field(default_factory=dict)
+    #: Entry kinds on disk: whole-program ``"result"`` envelopes vs.
+    #: task-level ``"task"`` envelopes (plus ``"unreadable"``).
+    kinds: dict[str, int] = field(default_factory=dict)
     size_budget: int | None = None
     #: Session counters (this BoundStore instance, this process only).
     hits: int = 0
@@ -136,6 +139,7 @@ class StoreStats:
             "total_bytes": self.total_bytes,
             "shards": self.shards,
             "schema_versions": {str(k): v for k, v in sorted(self.schema_versions.items())},
+            "kinds": dict(sorted(self.kinds.items())),
             "size_budget": self.size_budget,
             "session": {
                 "hits": self.hits,
@@ -212,6 +216,9 @@ class BoundStore:
         """Look up a result; any unreadable or foreign entry is a miss."""
         path = self.path_for(key)
         payload = _read_json(path)
+        if payload is not None and payload.get("kind", "result") != "result":
+            # A task-level entry living under a colliding key is not a result.
+            payload = None
         if payload is None:
             legacy = _read_json(self._legacy_path(key))
             if legacy is not None:
@@ -257,10 +264,6 @@ class BoundStore:
         is not writable (e.g. a read-only replica) — the store degrades to
         read-only rather than failing the caller's derivation.
         """
-        path = self.path_for(key)
-        existing = _read_json(path)
-        if existing is not None and _entry_schema(existing) > STORE_SCHEMA:
-            return None
         envelope: dict = {
             "store_schema": STORE_SCHEMA,
             "key": key,
@@ -269,6 +272,60 @@ class BoundStore:
         }
         if metadata:
             envelope["metadata"] = dict(metadata)
+        return self._write_entry(key, envelope)
+
+    # -- task-level entries ---------------------------------------------------
+
+    def get_task(self, key: str) -> dict | None:
+        """Look up a task-level entry; returns its raw payload dict.
+
+        Task entries memoise *sub-bound* derivations (one per
+        :class:`~repro.analysis.plan.DerivationTask`, keyed by the task
+        fingerprint), so a crashed or config-tweaked run resumes from every
+        task that already finished.  The payload is the dict written by
+        :meth:`put_task` (a ``TaskResult.to_dict()``); decoding it back into
+        objects is the planner's job — the store stays schema-agnostic about
+        task internals, exactly as it is about result internals.
+        """
+        path = self.path_for(key)
+        payload = _read_json(path)
+        if (
+            payload is None
+            or _entry_schema(payload) > STORE_SCHEMA
+            or payload.get("kind") != "task"
+        ):
+            self._misses += 1
+            return None
+        body = payload.get("task_result")
+        if not isinstance(body, dict):
+            self._misses += 1
+            return None
+        _touch(path)
+        self._hits += 1
+        return body
+
+    def put_task(
+        self,
+        key: str,
+        payload: Mapping[str, object],
+        metadata: Mapping[str, object] | None = None,
+    ) -> Path | None:
+        """Write a task-level entry atomically (same guarantees as ``put``)."""
+        envelope: dict = {
+            "store_schema": STORE_SCHEMA,
+            "kind": "task",
+            "key": key,
+            "task_result": dict(payload),
+        }
+        if metadata:
+            envelope["metadata"] = dict(metadata)
+        return self._write_entry(key, envelope)
+
+    def _write_entry(self, key: str, envelope: dict) -> Path | None:
+        path = self.path_for(key)
+        existing = _read_json(path)
+        if existing is not None and _entry_schema(existing) > STORE_SCHEMA:
+            return None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             # Write-then-rename in the destination directory so concurrent
@@ -327,6 +384,8 @@ class BoundStore:
             payload = _read_json(path)
             schema = -1 if payload is None else _entry_schema(payload)
             stats.schema_versions[schema] = stats.schema_versions.get(schema, 0) + 1
+            kind = "unreadable" if payload is None else str(payload.get("kind", "result"))
+            stats.kinds[kind] = stats.kinds.get(kind, 0) + 1
         stats.shards = len(shards)
         return stats
 

@@ -3,8 +3,27 @@
 Algorithm 6 of the paper interleaves two families of sub-bounds: K-partition
 bounds (Alg. 2/3/4) and wavefront bounds (Alg. 5 / Cor. 6.3).  Historically
 both were inlined in ``derive_bounds``; here each family is a
-:class:`BoundStrategy` and the driver is a generic loop over the strategies
-named by :class:`~repro.analysis.config.AnalysisConfig`.
+:class:`BoundStrategy` and the driver is a generic pipeline over the
+strategies named by :class:`~repro.analysis.config.AnalysisConfig`.
+
+A strategy participates in the plan/execute pipeline through three methods:
+
+* ``plan(dfg, config)`` — list the independent
+  :class:`~repro.analysis.plan.DerivationTask` units it wants scheduled
+  (one per statement for K-partition, one per statement x depth for
+  wavefront);
+* ``run_task(dfg, config, instance, task)`` — execute one of those tasks,
+  returning a :class:`~repro.analysis.plan.TaskResult` (pure function of its
+  arguments: it may run in a worker thread or process);
+* ``task_signature(config)`` — the slice of the config that can influence
+  this strategy's task results, folded into task-level store keys (narrower
+  than the full signature, so e.g. raising ``max_depth`` reuses finished
+  wavefront depths from the store).
+
+``derive`` survives as a compatibility wrapper that plans and runs serially;
+third-party strategies that only implement ``derive`` still work — the
+planner schedules them as a single whole-strategy task (see
+:func:`repro.analysis.plan.plan_strategy`).
 
 Third parties can register additional strategies (e.g. an isl-backed
 derivation, or a domain-specific shortcut) with :func:`register_strategy` and
@@ -16,18 +35,27 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping, Protocol, runtime_checkable
 
-from ..core.bounds import SubBound, evaluate
-from ..core.kpartition import sub_param_q_by_partition
-from ..core.paths import genpaths
-from ..core.wavefront import sub_param_q_by_wavefront
+from ..core.bounds import SubBound
+from ..core.kpartition import (
+    MAX_WORKING_PIECES,
+    statement_partition_bounds,
+)
+from ..core.wavefront import sub_param_q_by_wavefront, wavefront_depths
 from ..ir import DFG
-from ..linalg import SubspaceLattice, subspace_closure
-from ..sets import Constraint, CountingError, LinExpr, ParamSet, card
 from .config import AnalysisConfig
+from .plan import DerivationTask, TaskResult
 
-#: Cap on the number of pieces a shattered working domain may have before the
-#: same-statement decomposition gives up on further rounds.
-MAX_WORKING_PIECES = 16
+__all__ = [
+    "BoundStrategy",
+    "KPartitionStrategy",
+    "MAX_WORKING_PIECES",
+    "WavefrontStrategy",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+    "resolve_strategies",
+    "unregister_strategy",
+]
 
 
 @runtime_checkable
@@ -37,7 +65,10 @@ class BoundStrategy(Protocol):
     A strategy receives the program's DFG, the analysis configuration and the
     concrete ranking instance, and returns the sub-bounds it could derive.
     Strategies must be stateless (or at least reusable): one instance may be
-    used for many programs, possibly from multiple worker processes.
+    used for many programs, possibly from multiple worker threads or
+    processes.  ``plan``/``run_task``/``task_signature`` (see the module
+    docstring) are optional but recommended: they let the executor schedule
+    the strategy's work task by task.
     """
 
     #: Registry key, also recorded in ``SubBound.method``-style logs.
@@ -72,12 +103,12 @@ def register_strategy(
             name = "mine"
             def derive(self, dfg, config, instance, log): ...
 
-    Note for ``Analyzer.analyze_many`` with ``n_jobs > 1``: worker processes
-    re-import this module, so a custom strategy is only visible to them if
-    its registration runs at import time of a module the workers also import
-    (always true with the ``fork`` start method used on Linux; under
-    ``spawn`` — macOS/Windows defaults — register at module top level, not
-    inside ``if __name__ == "__main__"``).
+    Note for parallel execution: worker processes re-import this module, so a
+    custom strategy is only visible to them if its registration runs at
+    import time of a module the workers also import (always true with the
+    ``fork`` start method used on Linux; under ``spawn`` — macOS/Windows
+    defaults — register at module top level, not inside
+    ``if __name__ == "__main__"``).
     """
     key = name if name is not None else getattr(factory, "name", None)
     if not key or not isinstance(key, str):
@@ -114,39 +145,54 @@ def resolve_strategies(names: Iterable[str]) -> list[BoundStrategy]:
     return [get_strategy(name) for name in names]
 
 
-# -- shared helpers ---------------------------------------------------------
-
-def _large_parameter_context(params: Iterable[str], minimum: int = 4) -> list[Constraint]:
-    """Context constraints ``param >= minimum`` encoding the large-parameter regime."""
-    return [Constraint(LinExpr({p: 1}, -minimum)) for p in params]
-
-
-def _instance_card(domain: ParamSet, instance: Mapping[str, int]) -> float | None:
-    """Cardinality of a domain at the heuristic instance (None when unknown)."""
-    try:
-        expr = card(domain)
-    except CountingError:
-        return None
-    try:
-        return evaluate(expr, instance)
-    except (TypeError, ValueError):
-        return None
-
-
 # -- built-in strategies ----------------------------------------------------
 
 @register_strategy
 class KPartitionStrategy:
     """K-partition sub-bounds (Alg. 2/3/4 + the Sec. 4.2 decomposition).
 
-    For every statement, repeatedly search for a path combination (Alg. 3),
-    grow the kernel subgroup lattice (Alg. 2) and derive a K-partition bound
-    (Alg. 4), removing the covered may-spill region before looking for
-    another sub-CDAG of the same statement.
+    Planned as one task per statement; inside a task, the same-statement
+    rounds (search a path combination, grow the kernel lattice, derive an
+    Alg. 4 bound, remove the covered may-spill region, repeat) are
+    sequential by construction and run in
+    :func:`repro.core.kpartition.statement_partition_bounds`.
     """
 
     name = "kpartition"
 
+    def plan(self, dfg: DFG, config: AnalysisConfig) -> list[DerivationTask]:
+        return [
+            DerivationTask(strategy=self.name, statement=statement)
+            for statement in dfg.topological_statements()
+        ]
+
+    def run_task(
+        self,
+        dfg: DFG,
+        config: AnalysisConfig,
+        instance: Mapping[str, int],
+        task: DerivationTask,
+    ) -> TaskResult:
+        log: list[str] = []
+        sub_bounds = statement_partition_bounds(
+            dfg,
+            task.statement,
+            instance,
+            config.gamma,
+            max_rounds=config.max_subcdags_per_statement,
+            log=log,
+        )
+        return TaskResult(task=task, sub_bounds=sub_bounds, log=log)
+
+    def task_signature(self, config: AnalysisConfig) -> tuple:
+        """Config fields a K-partition task's result can depend on."""
+        return (
+            self.name,
+            None if config.instance is None else tuple(sorted(config.instance.items())),
+            config.gamma,
+            config.max_subcdags_per_statement,
+        )
+
     def derive(
         self,
         dfg: DFG,
@@ -154,88 +200,80 @@ class KPartitionStrategy:
         instance: Mapping[str, int],
         log: list[str],
     ) -> list[SubBound]:
-        program = dfg.program
+        """Compatibility wrapper: plan, then run every task serially."""
         sub_bounds: list[SubBound] = []
-        for statement in dfg.topological_statements():
-            working = program.statement(statement).domain
-            for round_index in range(config.max_subcdags_per_statement):
-                bound = self._derive_partition_bound(
-                    dfg, statement, working, instance, config.gamma
-                )
-                if bound is None:
-                    break
-                sub_bounds.append(bound)
-                log.append(
-                    f"kpartition[{statement} round {round_index}]: "
-                    f"{bound.smooth} ({bound.notes})"
-                )
-                if round_index + 1 >= config.max_subcdags_per_statement:
-                    break
-                spill = bound.may_spill.get(statement)
-                if spill is None:
-                    break
-                # Pieces that are only non-empty for degenerate (tiny)
-                # parameter values are dropped: this is pure search-space
-                # pruning and keeps the later rounds focused on genuinely
-                # uncovered regions.
-                context = _large_parameter_context(program.params)
-                working = working.subtract(spill).coalesce(context)
-                if (
-                    working.is_obviously_empty()
-                    or len(working.pieces) > MAX_WORKING_PIECES
-                    or working.is_empty(context)
-                ):
-                    break
+        for task in self.plan(dfg, config):
+            result = self.run_task(dfg, config, instance, task)
+            sub_bounds.extend(result.sub_bounds)
+            log.extend(result.log)
         return sub_bounds
-
-    @staticmethod
-    def _derive_partition_bound(
-        dfg: DFG,
-        statement: str,
-        working_domain: ParamSet,
-        instance: Mapping[str, int],
-        gamma: float,
-    ) -> SubBound | None:
-        """One iteration of the per-statement loop of Algorithm 6 (lines 9-18)."""
-        domain_size = _instance_card(working_domain, instance)
-        if domain_size is not None and domain_size < 1:
-            return None
-
-        paths = genpaths(dfg, statement, restrict_domain=working_domain)
-        if not paths:
-            return None
-
-        ambient = dfg.program.statement(statement).space.dim
-        lattice = SubspaceLattice(ambient)
-        accepted = []
-        current_domain = working_domain.intersect(dfg.program.statement(statement).domain)
-        for path in paths:
-            restricted = current_domain.intersect(path.domain)
-            if domain_size is not None:
-                restricted_size = _instance_card(restricted, instance)
-                if restricted_size is not None and restricted_size < gamma * domain_size:
-                    continue
-            kernel = path.kernel()
-            if kernel.is_zero():
-                continue
-            lattice, changed = subspace_closure(lattice, kernel)
-            if not changed:
-                continue
-            accepted.append(path)
-            current_domain = restricted
-
-        if not accepted:
-            return None
-        return sub_param_q_by_partition(
-            dfg, statement, accepted, current_domain, lattice, depth=0
-        )
 
 
 @register_strategy
 class WavefrontStrategy:
-    """Wavefront sub-bounds (Alg. 5 / Cor. 6.3) at depths 1..max_depth."""
+    """Wavefront sub-bounds (Alg. 5 / Cor. 6.3) at depths 1..max_depth.
+
+    Planned as one task per (statement, depth) pair — depth-major, matching
+    the historical loop order — with the plan-time applicability test of
+    :func:`repro.core.wavefront.wavefront_depths`.
+    """
 
     name = "wavefront"
+
+    def plan(self, dfg: DFG, config: AnalysisConfig) -> list[DerivationTask]:
+        program = dfg.program
+        statements = dfg.topological_statements()
+        admissible = {
+            statement: set(
+                wavefront_depths(program.statement(statement).dims, config.max_depth)
+            )
+            for statement in statements
+        }
+        return [
+            DerivationTask(strategy=self.name, statement=statement, depth=depth)
+            for depth in range(1, config.max_depth + 1)
+            for statement in statements
+            if depth in admissible[statement]
+        ]
+
+    def run_task(
+        self,
+        dfg: DFG,
+        config: AnalysisConfig,
+        instance: Mapping[str, int],
+        task: DerivationTask,
+    ) -> TaskResult:
+        log: list[str] = []
+        sub_bounds: list[SubBound] = []
+        bound = sub_param_q_by_wavefront(
+            dfg,
+            task.statement,
+            depth=task.depth,
+            validation_instance=config.wavefront_validation_instance,
+            validate=config.validate_wavefront,
+            validation=config.wavefront_validation,
+        )
+        if bound is not None:
+            sub_bounds.append(bound)
+            log.append(f"wavefront[{task.statement} depth {task.depth}]: {bound.smooth}")
+        return TaskResult(task=task, sub_bounds=sub_bounds, log=log)
+
+    def task_signature(self, config: AnalysisConfig) -> tuple:
+        """Config fields a wavefront task's result can depend on.
+
+        ``max_depth`` is deliberately absent: it decides which tasks are
+        *planned*, not what any one task computes, so a store populated at
+        ``max_depth=1`` keeps serving its depth-1 entries when the config is
+        re-run at ``max_depth=2``.
+        """
+        return (
+            self.name,
+            config.validate_wavefront,
+            config.wavefront_validation,
+            None
+            if config.wavefront_validation_instance is None
+            else tuple(sorted(config.wavefront_validation_instance.items())),
+        )
 
     def derive(
         self,
@@ -244,21 +282,10 @@ class WavefrontStrategy:
         instance: Mapping[str, int],
         log: list[str],
     ) -> list[SubBound]:
-        program = dfg.program
+        """Compatibility wrapper: plan, then run every task serially."""
         sub_bounds: list[SubBound] = []
-        for depth in range(1, config.max_depth + 1):
-            for statement in dfg.topological_statements():
-                if len(program.statement(statement).dims) <= depth:
-                    continue
-                bound = sub_param_q_by_wavefront(
-                    dfg,
-                    statement,
-                    depth=depth,
-                    validation_instance=config.wavefront_validation_instance,
-                    validate=config.validate_wavefront,
-                    validation=config.wavefront_validation,
-                )
-                if bound is not None:
-                    sub_bounds.append(bound)
-                    log.append(f"wavefront[{statement} depth {depth}]: {bound.smooth}")
+        for task in self.plan(dfg, config):
+            result = self.run_task(dfg, config, instance, task)
+            sub_bounds.extend(result.sub_bounds)
+            log.extend(result.log)
         return sub_bounds

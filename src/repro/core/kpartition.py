@@ -16,16 +16,21 @@ the safe direction).
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import Iterable, Mapping
 
 import sympy
 
 from ..ir import DFG
-from ..linalg import SubspaceLattice
-from ..sets import CountingError, ParamSet, card, card_upper
-from .bounds import S_SYMBOL, SubBound
+from ..linalg import SubspaceLattice, subspace_closure
+from ..sets import Constraint, CountingError, LinExpr, ParamSet, card, card_upper
+from .bounds import S_SYMBOL, SubBound, evaluate
 from .brascamp_lieb import solve_exponents
 from .interference import coeff_interf, path_source_set
-from .paths import BROADCAST, DFGPath
+from .paths import BROADCAST, DFGPath, genpaths
+
+#: Cap on the number of pieces a shattered working domain may have before the
+#: same-statement decomposition gives up on further rounds.
+MAX_WORKING_PIECES = 16
 
 
 def sub_param_q_by_partition(
@@ -116,6 +121,115 @@ def sub_param_q_by_partition(
         depth=depth,
         notes=notes,
     )
+
+
+def statement_partition_bounds(
+    dfg: DFG,
+    statement: str,
+    instance: Mapping[str, int],
+    gamma: float,
+    max_rounds: int = 1,
+    log: list[str] | None = None,
+) -> list[SubBound]:
+    """All K-partition sub-bounds of one statement — one pipeline task.
+
+    This is the per-statement body of Algorithm 6 (lines 9-18) plus the
+    Sec. 4.2 same-statement decomposition: derive a bound, remove its
+    may-spill region from the working domain, and look for another sub-CDAG,
+    up to ``max_rounds`` times.  Rounds are inherently sequential (each
+    works on what the previous one left uncovered), so they stay inside one
+    task; different *statements* are independent and are scheduled as
+    separate tasks by the planner.
+    """
+    program = dfg.program
+    sub_bounds: list[SubBound] = []
+    working = program.statement(statement).domain
+    for round_index in range(max_rounds):
+        bound = derive_partition_bound(dfg, statement, working, instance, gamma)
+        if bound is None:
+            break
+        sub_bounds.append(bound)
+        if log is not None:
+            log.append(
+                f"kpartition[{statement} round {round_index}]: "
+                f"{bound.smooth} ({bound.notes})"
+            )
+        if round_index + 1 >= max_rounds:
+            break
+        spill = bound.may_spill.get(statement)
+        if spill is None:
+            break
+        # Pieces that are only non-empty for degenerate (tiny) parameter
+        # values are dropped: this is pure search-space pruning and keeps
+        # the later rounds focused on genuinely uncovered regions.
+        context = large_parameter_context(program.params)
+        working = working.subtract(spill).coalesce(context)
+        if (
+            working.is_obviously_empty()
+            or len(working.pieces) > MAX_WORKING_PIECES
+            or working.is_empty(context)
+        ):
+            break
+    return sub_bounds
+
+
+def derive_partition_bound(
+    dfg: DFG,
+    statement: str,
+    working_domain: ParamSet,
+    instance: Mapping[str, int],
+    gamma: float,
+) -> SubBound | None:
+    """One round of the per-statement search: paths -> lattice -> Alg. 4."""
+    domain_size = instance_card(working_domain, instance)
+    if domain_size is not None and domain_size < 1:
+        return None
+
+    paths = genpaths(dfg, statement, restrict_domain=working_domain)
+    if not paths:
+        return None
+
+    ambient = dfg.program.statement(statement).space.dim
+    lattice = SubspaceLattice(ambient)
+    accepted = []
+    current_domain = working_domain.intersect(dfg.program.statement(statement).domain)
+    for path in paths:
+        restricted = current_domain.intersect(path.domain)
+        if domain_size is not None:
+            restricted_size = instance_card(restricted, instance)
+            if restricted_size is not None and restricted_size < gamma * domain_size:
+                continue
+        kernel = path.kernel()
+        if kernel.is_zero():
+            continue
+        lattice, changed = subspace_closure(lattice, kernel)
+        if not changed:
+            continue
+        accepted.append(path)
+        current_domain = restricted
+
+    if not accepted:
+        return None
+    return sub_param_q_by_partition(
+        dfg, statement, accepted, current_domain, lattice, depth=0
+    )
+
+
+def large_parameter_context(params: Iterable[str], minimum: int = 4) -> list[Constraint]:
+    """Context constraints ``param >= minimum`` encoding the large-parameter regime."""
+    return [Constraint(LinExpr({p: 1}, -minimum)) for p in params]
+
+
+def instance_card(domain: ParamSet, instance: Mapping[str, int]) -> float | None:
+    """Cardinality of a domain at the heuristic instance (None when unknown)."""
+    try:
+        expr = card(domain)
+    except CountingError:
+        return None
+    try:
+        return evaluate(expr, instance)
+    except (TypeError, ValueError):
+        return None
 
 
 def _accumulate_may_spill(

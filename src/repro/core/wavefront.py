@@ -46,6 +46,18 @@ OMEGA_PREFIX = "Omega"
 VALIDATION_MODES = ("symbolic", "concrete")
 
 
+def wavefront_depths(dims: tuple[str, ...], max_depth: int) -> list[int]:
+    """Parametrisation depths at which a wavefront derivation can apply.
+
+    A depth is admissible when the statement keeps at least one inner
+    dimension after slicing (``len(dims) > depth``).  This is the plan-time
+    applicability test of the task pipeline: each returned depth becomes one
+    independent :class:`~repro.analysis.plan.DerivationTask`, and
+    :func:`sub_param_q_by_wavefront` is the corresponding task body.
+    """
+    return [depth for depth in range(1, max_depth + 1) if len(dims) > depth]
+
+
 def sub_param_q_by_wavefront(
     dfg: DFG,
     statement: str,

@@ -17,7 +17,7 @@ from typing import Iterable, Mapping
 
 import sympy
 
-from ..analysis import AnalysisConfig, Analyzer, BoundStore
+from ..analysis import AnalysisConfig, Analyzer, BoundStore, Executor, resolve_executor
 from ..core import (
     IOBoundResult,
     PAPER_CACHE_WORDS,
@@ -79,16 +79,19 @@ def analyze_suite(
     config: AnalysisConfig | None = None,
     n_jobs: int | None = None,
     store: BoundStore | None = None,
+    executor: "Executor | str | None" = None,
     **kwargs,
 ) -> list[KernelAnalysis]:
     """Run the derivation over the whole suite (or a subset).
 
     Kernels sharing an analysis configuration are batched through
-    :meth:`Analyzer.analyze_many`, so ``n_jobs > 1`` (given here or on
-    ``config``) fans the derivations out over worker processes.  Passing a
-    :class:`~repro.analysis.BoundStore` (or setting ``config.cache_dir``)
-    memoises every derivation persistently — a warm second suite run does
-    zero derivations.
+    :meth:`Analyzer.analyze_many`, and every batch shares **one** task
+    executor: with ``n_jobs > 1`` (given here or on ``config``) and/or an
+    ``executor`` (a name or a live :class:`~repro.analysis.Executor`), all
+    kernels' derivation tasks flow through a single work queue of threads or
+    worker processes.  Passing a :class:`~repro.analysis.BoundStore` (or
+    setting ``config.cache_dir``) memoises every derivation persistently —
+    a warm second suite run does zero derivations.
     """
     specs = all_kernels() if names is None else [get_kernel(n) for n in names]
     by_signature: dict[tuple, tuple[AnalysisConfig, list[KernelSpec]]] = {}
@@ -96,16 +99,32 @@ def analyze_suite(
         kernel_config = _kernel_config(spec, config, **kwargs)
         if n_jobs is not None:
             kernel_config = kernel_config.replace(n_jobs=n_jobs)
+        if executor is not None and isinstance(executor, str):
+            kernel_config = kernel_config.replace(executor=executor)
         key = kernel_config.signature()
         by_signature.setdefault(key, (kernel_config, []))[1].append(spec)
 
+    # One executor for the whole suite: per-max_depth config groups would
+    # otherwise each spin up (and tear down) their own worker pool.
+    groups = list(by_signature.values())
+    shared = executor
+    owns_executor = False
+    if groups and (shared is None or isinstance(shared, str)):
+        first_config = groups[0][0]
+        name = shared if isinstance(shared, str) else first_config.executor
+        shared = resolve_executor(name, first_config.n_jobs)
+        owns_executor = True
     analyses: dict[str, KernelAnalysis] = {}
-    for kernel_config, group in by_signature.values():
-        results = Analyzer(kernel_config, store=store).analyze_many(
-            [s.program for s in group]
-        )
-        for spec, result in zip(group, results):
-            analyses[spec.name] = KernelAnalysis(spec=spec, result=result)
+    try:
+        for kernel_config, group in groups:
+            results = Analyzer(kernel_config, store=store).analyze_many(
+                [s.program for s in group], executor=shared
+            )
+            for spec, result in zip(group, results):
+                analyses[spec.name] = KernelAnalysis(spec=spec, result=result)
+    finally:
+        if owns_executor and shared is not None:
+            shared.close()
     return [analyses[spec.name] for spec in specs]
 
 

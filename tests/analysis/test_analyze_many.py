@@ -46,14 +46,14 @@ class TestBatchAlignment:
     def test_silent_none_result_raises_instead_of_misaligning(self, monkeypatch):
         """A derivation that produces no result must not shrink the batch."""
         programs = [get_kernel(name).program for name in KERNELS]
-        real_run = analyzer_module.run_analysis
+        real_combine = analyzer_module.combine_plan
 
-        def broken_run(program, config):
-            if program.name == "atax":
-                return None  # simulate a silently failed derivation
-            return real_run(program, config)
+        def broken_combine(plan, task_results):
+            if plan.program.name == "atax":
+                return None  # simulate a silently failed combination
+            return real_combine(plan, task_results)
 
-        monkeypatch.setattr(analyzer_module, "run_analysis", broken_run)
+        monkeypatch.setattr(analyzer_module, "combine_plan", broken_combine)
         analyzer = Analyzer(AnalysisConfig(max_depth=0))
         with pytest.raises(RuntimeError, match=r"indices \[1\].*atax"):
             analyzer.analyze_many(programs)

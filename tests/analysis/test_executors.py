@@ -1,0 +1,249 @@
+"""Executor acceptance: determinism, resume, counters, selection.
+
+The pipeline's headline guarantee is that the executor changes *wall time
+only*: serial, thread and process execution — and any completion order at
+all — produce byte-identical results.  These tests also cover the task-level
+resume path (a run killed half-way reuses its finished tasks) and the
+thread-safety of the derivation counters.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import random
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    Analyzer,
+    BoundStore,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    derivation_count,
+    execute_plan,
+    plan_program,
+    reset_derivation_count,
+    reset_task_derivation_count,
+    resolve_executor,
+    task_derivation_count,
+)
+from repro.analysis.executor import EXECUTOR_ENV
+from repro.analysis.plan import run_strategy_task
+from repro.analysis.strategies import get_strategy
+from repro.ir import DFG
+from repro.polybench import get_kernel
+
+#: Multi-statement kernels: several independent tasks per derivation.
+KERNELS = ["durbin", "bicg", "mvt"]
+
+
+def result_bytes(result) -> bytes:
+    return json.dumps(result.to_dict(), sort_keys=True).encode()
+
+
+class ShuffledExecutor:
+    """Executes and completes tasks in a (seeded) random order, in-process.
+
+    Models the adversarial scheduling a pool could exhibit: the pipeline
+    must combine results in plan order no matter what order the executor
+    yields them in.
+    """
+
+    name = "shuffled"
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def map(self, fn, items):
+        items = list(items)
+        order = list(range(len(items)))
+        random.Random(self.seed).shuffle(order)
+        for index in order:
+            yield index, fn(items[index])
+
+    def close(self) -> None:
+        pass
+
+
+class TestByteIdenticalAcrossExecutors:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_thread_and_process_match_serial(self, kernel):
+        program = get_kernel(kernel).program
+        config = AnalysisConfig(max_depth=1)
+        serial = result_bytes(Analyzer(config).analyze(program))
+        thread = result_bytes(
+            Analyzer(config.replace(executor="thread", n_jobs=4)).analyze(program)
+        )
+        process = result_bytes(
+            Analyzer(config.replace(executor="process", n_jobs=2)).analyze(program)
+        )
+        assert thread == serial
+        assert process == serial
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_shuffled_completion_order_is_invisible(self, seed):
+        """sub_bounds and log ordering must be plan-deterministic even when
+        tasks complete in an arbitrary (here: seeded random) order."""
+        program = get_kernel("durbin").program
+        config = AnalysisConfig(max_depth=1)
+        baseline = Analyzer(config).analyze(program)
+        shuffled = Analyzer(config).analyze(program, executor=ShuffledExecutor(seed))
+        assert result_bytes(shuffled) == result_bytes(baseline)
+        assert shuffled.log == baseline.log
+        assert [b.to_dict() for b in shuffled.sub_bounds] == [
+            b.to_dict() for b in baseline.sub_bounds
+        ]
+
+    def test_analyze_many_matches_per_program_results(self):
+        programs = [get_kernel(name).program for name in KERNELS]
+        config = AnalysisConfig(max_depth=1)
+        individual = [Analyzer(config).analyze(p) for p in programs]
+        batched = Analyzer(config.replace(executor="thread", n_jobs=4)).analyze_many(
+            programs
+        )
+        for single, batch in zip(individual, batched):
+            assert result_bytes(single) == result_bytes(batch)
+
+
+class TestTaskLevelResume:
+    def test_killed_run_resumes_from_finished_tasks(self, tmp_path):
+        """Simulate a cold run killed mid-way: some task entries are in the
+        store, the result entry is not.  The next run must execute only the
+        missing tasks and still produce the full result."""
+        store = BoundStore(tmp_path)
+        program = get_kernel("durbin").program
+        config = AnalysisConfig(max_depth=1)
+        plan = plan_program(program, config)
+        assert len(plan.tasks) >= 4
+
+        # The "crashed" run finished exactly two tasks before dying.
+        dfg = DFG.from_program(program)
+        instance = config.heuristic_instance(program.params)
+        finished = plan.tasks[:2]
+        for task in finished:
+            result = run_strategy_task(
+                get_strategy(task.strategy), dfg, config, instance, task
+            )
+            store.put_task(plan.task_key(task), result.to_dict())
+
+        reset_task_derivation_count()
+        resumed = Analyzer(config, store=store).analyze(program)
+        assert task_derivation_count() == len(plan.tasks) - len(finished)
+
+        baseline = Analyzer(config).analyze(program)
+        assert resumed.log == baseline.log
+        assert resumed.smooth == baseline.smooth
+        assert resumed.asymptotic == baseline.asymptotic
+
+    def test_complete_task_set_still_counts_a_program_derivation(self, tmp_path):
+        """Task-level hits don't make a run free: the warm-store *program*
+        invariant is carried by result-level entries, which record the
+        combination too."""
+        store = BoundStore(tmp_path)
+        program = get_kernel("gemm").program
+        config = AnalysisConfig(max_depth=0)
+        Analyzer(config, store=store).analyze(program)
+
+        # Drop only the result-level entry, keeping every task entry.
+        for path in tmp_path.glob("objects/*/*.json"):
+            if not path.stem.endswith("-task"):
+                path.unlink()
+
+        reset_derivation_count()
+        reset_task_derivation_count()
+        Analyzer(config, store=store).analyze(program)
+        assert task_derivation_count() == 0  # every task reloaded
+        assert derivation_count() == 1  # but the pipeline (plan+combine) ran
+
+        reset_derivation_count()
+        Analyzer(config, store=store).analyze(program)
+        assert derivation_count() == 0  # result entry restored: fully warm
+
+
+class TestCounters:
+    def test_concurrent_analyses_do_not_lose_counts(self):
+        """Hammer the shared counters from parallel analyzer threads: with
+        the lock in place, no increment may be lost."""
+        programs = [get_kernel(name).program for name in KERNELS]
+        config = AnalysisConfig(max_depth=1, executor="thread", n_jobs=2)
+        expected_tasks = sum(
+            len(plan_program(program, config).tasks) for program in programs
+        )
+        reset_derivation_count()
+        reset_task_derivation_count()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=len(programs)) as pool:
+            futures = [
+                pool.submit(Analyzer(config).analyze, program) for program in programs
+            ]
+            for future in futures:
+                future.result()
+        assert derivation_count() == len(programs)
+        assert task_derivation_count() == expected_tasks
+
+
+class TestSelection:
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("thread", 4), ThreadExecutor)
+        assert isinstance(resolve_executor("process", 4), ProcessExecutor)
+
+    def test_instances_pass_through(self):
+        executor = ThreadExecutor(n_jobs=3)
+        assert resolve_executor(executor, 8) is executor
+
+    def test_default_depends_on_n_jobs(self):
+        assert isinstance(resolve_executor(None, 1), SerialExecutor)
+        assert isinstance(resolve_executor(None, 4), ProcessExecutor)
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV, "thread")
+        executor = resolve_executor(None, 4)
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.n_jobs == 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("fibers")
+        with pytest.raises(ValueError, match="executor"):
+            AnalysisConfig(executor="fibers")
+
+    def test_config_executor_drives_execute_plan(self):
+        """execute_plan with no explicit executor resolves the config's."""
+        program = get_kernel("gemm").program
+        plan = plan_program(program, AnalysisConfig(max_depth=0, executor="thread", n_jobs=2))
+        results = execute_plan(plan)
+        assert [r.task for r in results] == list(plan.tasks)
+
+
+class TestPoolLifecycle:
+    def test_pool_is_reused_across_maps_and_closed_once(self):
+        executor = ThreadExecutor(n_jobs=2)
+        first = list(executor.map(lambda x: x * 2, [1, 2, 3]))
+        pool = executor._pool
+        second = list(executor.map(lambda x: x + 1, [1, 2, 3]))
+        assert executor._pool is pool, "map must reuse the lazily-created pool"
+        assert sorted(first) == [(0, 2), (1, 4), (2, 6)]
+        assert sorted(second) == [(0, 2), (1, 3), (2, 4)]
+        executor.close()
+        assert executor._pool is None
+        executor.close()  # idempotent
+
+    def test_single_item_map_skips_the_pool(self):
+        executor = ProcessExecutor(n_jobs=4)
+        assert list(executor.map(abs, [-3])) == [(0, 3)]
+        assert executor._pool is None
+        executor.close()
+
+    def test_map_propagates_worker_exceptions(self):
+        def boom(x):
+            raise RuntimeError(f"task {x} failed")
+
+        executor = ThreadExecutor(n_jobs=2)
+        try:
+            with pytest.raises(RuntimeError, match="task"):
+                list(executor.map(boom, [1, 2, 3]))
+        finally:
+            executor.close()

@@ -1,0 +1,116 @@
+"""``program_fingerprint``: declaration-order invariance, content sensitivity.
+
+The fingerprint keys every store entry (result- and task-level), so it must
+be a function of the program's *mathematical content* only: permuting the
+order in which arrays, statements or dependences were declared must not
+change it, while perturbing any dependence function must.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.analysis import program_fingerprint
+from repro.ir import AffineProgram
+from repro.polybench import get_kernel, kernel_names
+from repro.sets import AffineFunction, LinExpr
+
+#: A representative spread: single-statement, multi-statement, stencils.
+KERNELS = ["gemm", "atax", "durbin", "correlation", "jacobi-2d"]
+
+SEEDS = range(6)
+
+
+def rebuilt(program: AffineProgram, seed: int | None = None) -> AffineProgram:
+    """A structurally identical program, optionally with every declaration
+    list shuffled by ``seed``."""
+    arrays = list(program.arrays.values())
+    statements = list(program.statements.values())
+    dependences = list(program.dependences)
+    if seed is not None:
+        rng = random.Random(seed)
+        rng.shuffle(arrays)
+        rng.shuffle(statements)
+        rng.shuffle(dependences)
+    return AffineProgram(
+        program.name, program.params, arrays, statements, dependences
+    )
+
+
+def existing_kernel(name: str) -> str:
+    if name not in kernel_names():
+        pytest.skip(f"kernel {name} not registered")
+    return name
+
+
+class TestDeclarationOrderInvariance:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_rebuild_preserves_fingerprint(self, kernel):
+        program = get_kernel(existing_kernel(kernel)).program
+        assert program_fingerprint(rebuilt(program)) == program_fingerprint(program)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shuffled_declarations_preserve_fingerprint(self, kernel, seed):
+        program = get_kernel(existing_kernel(kernel)).program
+        shuffled = rebuilt(program, seed=seed)
+        assert program_fingerprint(shuffled) == program_fingerprint(program)
+
+
+class TestContentSensitivity:
+    def perturbed_dependence_program(self, program: AffineProgram, dep_index: int):
+        """The same program with one dependence function offset by +1 in its
+        last coordinate — a genuinely different data flow."""
+        dependences = list(program.dependences)
+        dep = dependences[dep_index]
+        function = dep.function
+        last = function.exprs[-1]
+        bumped = LinExpr(dict(last.coeffs), last.const + 1)
+        dependences[dep_index] = dataclasses.replace(
+            dep,
+            function=AffineFunction(
+                function.domain_space, function.target_tuple, (*function.exprs[:-1], bumped)
+            ),
+        )
+        return AffineProgram(
+            program.name, program.params, program.arrays.values(),
+            program.statements.values(), dependences,
+        )
+
+    @pytest.mark.parametrize("kernel", ["gemm", "durbin"])
+    def test_perturbed_dependence_changes_fingerprint(self, kernel):
+        program = get_kernel(existing_kernel(kernel)).program
+        for dep_index in range(len(program.dependences)):
+            perturbed = self.perturbed_dependence_program(program, dep_index)
+            assert program_fingerprint(perturbed) != program_fingerprint(program), (
+                f"bumping dependence {dep_index} of {kernel} must change the "
+                "fingerprint"
+            )
+
+    def test_renamed_statement_changes_fingerprint(self):
+        program = get_kernel("gemm").program
+        statements = [
+            dataclasses.replace(statement, name=f"renamed_{statement.name}")
+            for statement in program.statements.values()
+        ]
+        dependences = [
+            dataclasses.replace(
+                dep,
+                source=f"renamed_{dep.source}" if dep.source in program.statements else dep.source,
+                sink=f"renamed_{dep.sink}",
+            )
+            for dep in program.dependences
+        ]
+        renamed = AffineProgram(
+            program.name, program.params, program.arrays.values(), statements, dependences
+        )
+        assert program_fingerprint(renamed) != program_fingerprint(program)
+
+    def test_distinct_kernels_never_collide(self):
+        fingerprints = {}
+        for name in kernel_names():
+            fingerprints[name] = program_fingerprint(get_kernel(name).program)
+        assert len(set(fingerprints.values())) == len(fingerprints)

@@ -1,0 +1,177 @@
+"""The derivation plan: task decomposition, ordering, keys, and compat.
+
+The plan is the contract of the whole pipeline: deterministic task lists
+(one per statement x strategy x depth), stable task fingerprints that key
+the task-level store entries, and a ``derive`` compatibility wrapper that
+must reproduce the monolithic loops bit for bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    Analyzer,
+    BoundStore,
+    plan_program,
+    register_strategy,
+    reset_task_derivation_count,
+    task_derivation_count,
+    unregister_strategy,
+)
+from repro.analysis.plan import WHOLE_STRATEGY, DerivationTask, TaskResult
+from repro.ir import DFG
+from repro.polybench import get_kernel
+
+
+class TestPlanStructure:
+    def test_one_task_per_statement_strategy_depth(self):
+        program = get_kernel("durbin").program
+        plan = plan_program(program, AnalysisConfig(max_depth=1))
+        ids = [task.task_id for task in plan.tasks]
+        # One kpartition task per statement (topological order), then one
+        # wavefront task per admissible (statement, depth) pair, depth-major.
+        kpart = [i for i in ids if i.startswith("kpartition:")]
+        wave = [i for i in ids if i.startswith("wavefront:")]
+        assert len(kpart) == len(program.statements)
+        assert wave and all(i.endswith(":d1") for i in wave)
+        assert ids == kpart + wave  # strategy order = config order
+
+    def test_max_depth_zero_plans_no_wavefront_tasks(self):
+        program = get_kernel("durbin").program
+        plan = plan_program(program, AnalysisConfig(max_depth=0))
+        assert all(task.strategy == "kpartition" for task in plan.tasks)
+
+    def test_plan_is_deterministic(self):
+        program = get_kernel("correlation").program
+        config = AnalysisConfig(max_depth=1)
+        first = plan_program(program, config)
+        second = plan_program(program, config)
+        assert first.tasks == second.tasks
+        assert first.task_keys() == second.task_keys()
+
+    def test_wavefront_tasks_respect_statement_dimensionality(self):
+        # gemm's single 3-D statement admits depths 1 and 2, not 3.
+        program = get_kernel("gemm").program
+        plan = plan_program(program, AnalysisConfig(max_depth=5))
+        depths = sorted(t.depth for t in plan.tasks if t.strategy == "wavefront")
+        assert depths == [1, 2]
+
+    def test_task_roundtrips_through_dict(self):
+        task = DerivationTask(strategy="wavefront", statement="S", depth=2)
+        assert DerivationTask.from_dict(task.to_dict()) == task
+
+
+class TestTaskKeys:
+    def test_keys_are_disjoint_from_result_keys(self):
+        program = get_kernel("gemm").program
+        plan = plan_program(program, AnalysisConfig(max_depth=1))
+        for key in plan.task_keys():
+            assert key.endswith("-task")
+
+    def test_gamma_invalidates_kpartition_but_not_wavefront_tasks(self):
+        program = get_kernel("durbin").program
+        base = plan_program(program, AnalysisConfig(max_depth=1))
+        tweaked = plan_program(program, AnalysisConfig(max_depth=1, gamma=0.5))
+        for task, old_key, new_key in zip(
+            base.tasks, base.task_keys(), tweaked.task_keys()
+        ):
+            if task.strategy == "kpartition":
+                assert old_key != new_key
+            else:
+                assert old_key == new_key
+
+    def test_executor_and_jobs_do_not_touch_task_keys(self):
+        program = get_kernel("gemm").program
+        serial = plan_program(program, AnalysisConfig(max_depth=1))
+        parallel = plan_program(
+            program, AnalysisConfig(max_depth=1, executor="thread", n_jobs=4)
+        )
+        assert serial.task_keys() == parallel.task_keys()
+
+    def test_raising_max_depth_reuses_finished_depths(self, tmp_path):
+        """A store populated at max_depth=1 serves its tasks to a max_depth=2
+        run: only the genuinely new depth-2 tasks execute."""
+        store = BoundStore(tmp_path)
+        program = get_kernel("gemm").program
+        shallow = AnalysisConfig(max_depth=1)
+        deep = shallow.replace(max_depth=2)
+        Analyzer(shallow, store=store).analyze(program)
+
+        new_tasks = len(plan_program(program, deep).tasks) - len(
+            plan_program(program, shallow).tasks
+        )
+        assert new_tasks > 0
+        reset_task_derivation_count()
+        Analyzer(deep, store=store).analyze(program)
+        assert task_derivation_count() == new_tasks
+
+
+class TestDeriveCompatibility:
+    @pytest.mark.parametrize("kernel", ["durbin", "bicg"])
+    def test_derive_wrapper_matches_task_pipeline(self, kernel):
+        """The legacy per-strategy ``derive`` (plan + run serially) must equal
+        running the tasks one by one — same bounds, same log, same order."""
+        from repro.analysis.plan import run_strategy_task
+        from repro.analysis.strategies import resolve_strategies
+
+        program = get_kernel(kernel).program
+        config = AnalysisConfig(max_depth=1)
+        dfg = DFG.from_program(program)
+        instance = config.heuristic_instance(program.params)
+
+        for strategy in resolve_strategies(config.strategies):
+            log: list[str] = []
+            via_derive = strategy.derive(dfg, config, instance, log)
+            task_log: list[str] = []
+            via_tasks = []
+            for task in strategy.plan(dfg, config):
+                result = run_strategy_task(strategy, dfg, config, instance, task)
+                via_tasks.extend(result.sub_bounds)
+                task_log.extend(result.log)
+            assert [b.to_dict() for b in via_derive] == [b.to_dict() for b in via_tasks]
+            assert log == task_log
+
+    def test_legacy_derive_only_strategy_plans_one_whole_task(self):
+        """Strategies predating the pipeline are scheduled as a single task."""
+
+        class LegacyStrategy:
+            name = "test-legacy"
+
+            def derive(self, dfg, config, instance, log):
+                log.append("legacy ran")
+                return []
+
+        register_strategy(LegacyStrategy)
+        try:
+            program = get_kernel("gemm").program
+            config = AnalysisConfig(strategies=("test-legacy",))
+            plan = plan_program(program, config)
+            assert [t.statement for t in plan.tasks] == [WHOLE_STRATEGY]
+            result = Analyzer(config).analyze(program)
+            assert "legacy ran" in result.log
+        finally:
+            unregister_strategy("test-legacy")
+
+
+class TestTaskResultSerialization:
+    def test_roundtrip_preserves_bounds_and_log(self):
+        from repro.analysis.plan import run_strategy_task
+        from repro.analysis.strategies import get_strategy
+
+        program = get_kernel("durbin").program
+        config = AnalysisConfig(max_depth=1)
+        dfg = DFG.from_program(program)
+        instance = config.heuristic_instance(program.params)
+        strategy = get_strategy("wavefront")
+        task = DerivationTask(strategy="wavefront", statement="Y", depth=1)
+        result = run_strategy_task(strategy, dfg, config, instance, task)
+        assert result.sub_bounds, "durbin's Y must yield a wavefront bound"
+
+        restored = TaskResult.from_dict(result.to_dict())
+        assert restored.task == task
+        assert restored.log == result.log
+        assert [b.to_dict() for b in restored.sub_bounds] == [
+            b.to_dict() for b in result.sub_bounds
+        ]

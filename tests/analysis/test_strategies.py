@@ -137,7 +137,11 @@ class TestAnalyzeMany:
         programs = [get_kernel(name).program for name in self.KERNELS[:3]]
         analyzer = Analyzer(AnalysisConfig(max_depth=0, cache_dir=tmp_path))
         first = analyzer.analyze_many(programs)
-        assert len(list(tmp_path.glob("objects/*/*.json"))) == 3
+        entries = list(tmp_path.glob("objects/*/*.json"))
+        results = [p for p in entries if not p.stem.endswith("-task")]
+        tasks = [p for p in entries if p.stem.endswith("-task")]
+        assert len(results) == 3
+        assert tasks, "task-level entries must be memoised alongside results"
         second = analyzer.analyze_many(programs)
         for a, b in zip(first, second):
             assert a.asymptotic == b.asymptotic

@@ -91,6 +91,43 @@ class TestAsymptoticLeading:
         assert evaluate(n ** 2 / S_SYMBOL, {"N": 10, "S": 4}) == 25.0
 
 
+class TestOIUpperBoundMemoisation:
+    """``oi_upper_bound`` runs a full sympy expand/simplify; ``__repr__``
+    calls it on every log line, so it must compute once per instance —
+    including instances freshly rebuilt by ``from_dict``."""
+
+    def fresh_result(self):
+        from repro.analysis import AnalysisConfig, Analyzer
+        from repro.polybench import get_kernel
+
+        return Analyzer(AnalysisConfig(max_depth=0)).analyze(
+            get_kernel("gemm").program
+        )
+
+    def test_repeated_calls_return_the_cached_object(self):
+        result = self.fresh_result()
+        first = result.oi_upper_bound()
+        assert result.oi_upper_bound() is first
+        assert repr(result).count("OI_up") == 1  # repr goes through the cache
+
+    def test_cache_survives_from_dict(self, monkeypatch):
+        from repro.core.bounds import IOBoundResult
+
+        result = IOBoundResult.from_dict(self.fresh_result().to_dict())
+        first = result.oi_upper_bound()
+        # Poison simplify: a second simplification pass would now blow up.
+        monkeypatch.setattr(
+            sympy, "simplify", lambda *a, **k: (_ for _ in ()).throw(AssertionError)
+        )
+        assert result.oi_upper_bound() is first
+
+    def test_cache_stays_out_of_serialization_and_equality(self):
+        result = self.fresh_result()
+        reference = result.to_dict()
+        result.oi_upper_bound()
+        assert result.to_dict() == reference
+
+
 class TestClassification:
     def test_compute_bound_when_achieved_oi_above_mb(self):
         assert classify(100.0, 20.0, 8.0) is Classification.COMPUTE_BOUND
