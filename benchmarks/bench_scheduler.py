@@ -1,0 +1,125 @@
+"""Barrier pipeline vs streaming scheduler: time-to-first-result and total.
+
+The event-driven scheduler's promise is not a faster batch — the same tasks
+run on the same executor — but a faster *first answer*: `analyze_stream`
+yields each kernel's bound the moment its last task lands, while the
+barrier-shaped `analyze_many` hands everything back only when the whole
+batch is done.  This benchmark measures both shapes cold on the same kernel
+batch and tabulates time-to-first-result (TTFR) against total wall time
+(``benchmarks/out/scheduler_streaming.md``).
+
+Methodology: each (mode, executor) cell runs in a **fresh Python
+subprocess** (same reasoning as ``bench_pipeline.py``: sympy's global caches
+must not let the first run subsidise the second), with the store disabled so
+every run is a full derivation.
+
+The acceptance assertion — streaming TTFR strictly below the barrier's
+full-batch wall time — only runs with >= 2 cores: it holds by construction
+whenever the first-finishing kernel is not also the whole batch, but on a
+single-core container the timing noise of interleaved executors is not
+worth gating on (the table is still written for inspection).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from conftest import write_markdown_table
+
+#: A lopsided batch, biggest kernel deliberately first: the barrier must
+#: wait for it, the streaming scheduler hands the small kernels out early.
+KERNELS = ("durbin", "gramschmidt", "bicg", "mvt", "atax", "gemm")
+
+MODES = (("serial", 1), ("thread", 4))
+
+_CHILD_SNIPPET = """
+import json, time
+from repro.analysis import AnalysisConfig, Analyzer
+from repro.polybench import get_kernel
+
+kernels = {kernels!r}
+programs = [get_kernel(name).program for name in kernels]
+config = AnalysisConfig(max_depth=1, executor={executor!r}, n_jobs={jobs})
+analyzer = Analyzer(config)  # no store: always a full cold derivation
+
+start = time.perf_counter()
+first = None
+if {streaming!r}:
+    first_name = None
+    for name, result in analyzer.analyze_stream(programs):
+        if first is None:
+            first = time.perf_counter() - start
+            first_name = name
+else:
+    results = analyzer.analyze_many(programs)
+    first = time.perf_counter() - start  # barrier: nothing before the end
+    first_name = results[0].program_name
+total = time.perf_counter() - start
+print(json.dumps({{"ttfr": first, "total": total, "first": first_name}}))
+"""
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_cold(streaming: bool, executor: str, jobs: int) -> dict:
+    code = _CHILD_SNIPPET.format(
+        kernels=list(KERNELS), executor=executor, jobs=jobs, streaming=streaming
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.path.dirname(__file__), "..", "src"),
+                      env.get("PYTHONPATH")])
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", code], env=env, check=True, capture_output=True, text=True
+    )
+    return json.loads(output.stdout.strip().splitlines()[-1])
+
+
+def test_streaming_time_to_first_result():
+    rows = []
+    measured: dict[str, dict[str, dict]] = {}
+    for executor, jobs in MODES:
+        barrier = run_cold(False, executor, jobs)
+        streaming = run_cold(True, executor, jobs)
+        measured[executor] = {"barrier": barrier, "streaming": streaming}
+        rows.append({
+            "executor": f"{executor} x{jobs}",
+            "barrier total (s)": round(barrier["total"], 2),
+            "stream TTFR (s)": round(streaming["ttfr"], 2),
+            "stream total (s)": round(streaming["total"], 2),
+            "first result": streaming["first"],
+            "TTFR speedup": f"{barrier['total'] / max(streaming['ttfr'], 1e-9):.1f}x",
+        })
+    path = write_markdown_table("scheduler_streaming", rows)
+    print(f"wrote {path}")
+
+    # The priority rule should surface a small kernel first, not the big
+    # lead kernel the batch starts with — on every executor.
+    for executor, cells in measured.items():
+        assert cells["streaming"]["first"] != KERNELS[0], (
+            f"{executor}: expected a small kernel to stream first, got "
+            f"{cells['streaming']['first']}"
+        )
+
+    cores = _available_cores()
+    if cores < 2:
+        pytest.skip(
+            f"only {cores} CPU core(s): TTFR timing too noisy to gate on; "
+            "table written for inspection"
+        )
+    for executor, cells in measured.items():
+        assert cells["streaming"]["ttfr"] < cells["barrier"]["total"], (
+            f"{executor}: streaming TTFR {cells['streaming']['ttfr']:.2f}s must "
+            f"beat the barrier's full-batch {cells['barrier']['total']:.2f}s"
+        )

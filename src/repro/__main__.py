@@ -7,19 +7,31 @@ Subcommands
     JSON) the resulting formulae.
 
 ``suite [--kernels ...] [--executor thread --jobs N] --json out.json``
-    Run the derivation over the PolyBench suite through
-    :meth:`repro.analysis.Analyzer.analyze_many` and persist every result as
-    a reloadable JSON document.  All kernels' derivation tasks flow through
-    one shared executor (``--jobs 8`` schedules the whole suite's tasks in a
-    single work queue).
+    Run the derivation over the PolyBench suite through the event-driven
+    streaming scheduler (:func:`repro.polybench.analyze_suite_stream`) and
+    persist every result as a reloadable JSON document.  All kernels'
+    derivation tasks flow through one shared executor (``--jobs 8``
+    schedules the whole suite's tasks in a single work queue), and each
+    kernel's table row prints **the moment its derivation completes** —
+    early bounds appear while later kernels are still running.  The JSON
+    document is written in request order and is byte-identical across
+    executors and schedulers.
 
-``kernels``
-    List the registered PolyBench kernels.
+``serve [--port N]``
+    Long-lived JSON-lines analysis service (see :mod:`repro.service`):
+    requests in, streamed results out, over stdin/stdout or TCP.
 
-``cache {stats,gc,clear}``
+``kernels [--json]``
+    List the registered PolyBench kernels (``--json`` emits the
+    machine-readable registry document service clients discover workloads
+    from).
+
+``cache {stats,gc,clear,export,import}``
     Maintain the shared persistent bound store (``$REPRO_STORE`` or
     ``~/.cache/repro``): show layout/usage statistics, evict
-    least-recently-used entries down to a size budget, or drop everything.
+    least-recently-used entries down to a size budget, drop everything, or
+    replicate the store across machines via ``export``/``import`` tarballs
+    (import negotiates schema versions and never overwrites newer entries).
 
 All derivation knobs map onto :class:`repro.analysis.AnalysisConfig` fields.
 ``analyze`` and ``suite`` memoise through the shared bound store by default,
@@ -33,6 +45,7 @@ import argparse
 import json
 import os
 import sys
+import tarfile
 from typing import Sequence
 
 import sympy
@@ -47,7 +60,7 @@ from .analysis import (
 )
 from .analysis.executor import EXECUTOR_NAMES
 from .core.wavefront import VALIDATION_MODES
-from .polybench import all_kernels, analyze_suite, get_kernel, kernel_names
+from .polybench import all_kernels, analyze_suite_stream, get_kernel, kernel_names
 
 
 def _parse_instance(pairs: Sequence[str]) -> dict[str, int] | None:
@@ -190,10 +203,23 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 
     store = _store_for(args)
     reset_derivation_count()
-    analyses = analyze_suite(
+
+    # Rows stream in completion order: the scheduler fires each kernel's
+    # combine as its last task lands, so early bounds print while later
+    # kernels are still deriving.
+    print(f"{'kernel':<16} {'Q_low (asymptotic)':<40} {'OI_up'}")
+    print("-" * 72)
+    analyses = {}
+    for analysis in analyze_suite_stream(
         names, n_jobs=args.jobs, executor=args.executor, store=store, **overrides
-    )
-    results = [analysis.result for analysis in analyses]
+    ):
+        analyses[analysis.spec.name] = analysis
+        result = analysis.result
+        print(
+            f"{result.program_name:<16} {sympy.sstr(result.asymptotic):<40} "
+            f"{sympy.sstr(result.oi_upper_bound())}",
+            flush=True,
+        )
 
     derived = derivation_count()
     if store is not None:
@@ -203,21 +229,61 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(f"derivations: {derived} (store disabled)")
 
     if args.json is not None:
+        # The document is collected in *request* order (duplicates included,
+        # matching the pre-streaming CLI shape), independent of the
+        # completion order above — byte-identical across executors.
+        results = [analyses[name].result for name in names]
         save_results(results, args.json)
         print(f"wrote {len(results)} results to {args.json}")
-    print(f"{'kernel':<16} {'Q_low (asymptotic)':<40} {'OI_up'}")
-    print("-" * 72)
-    for result in results:
-        print(
-            f"{result.program_name:<16} {sympy.sstr(result.asymptotic):<40} "
-            f"{sympy.sstr(result.oi_upper_bound())}"
-        )
     return 0
 
 
-def _cmd_kernels(_args: argparse.Namespace) -> int:
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        # The machine-readable registry: what a `repro serve` client needs to
+        # discover workloads (names for requests, parameters to instantiate,
+        # paper reference data for display) without scraping text output.
+        entries = [
+            {
+                "name": spec.name,
+                "category": spec.category,
+                "max_depth": spec.max_depth,
+                "parameters": list(spec.program.params),
+                "large_instance": dict(spec.large_instance),
+                "paper_oi_upper": spec.paper_oi_upper,
+                "paper_oi_manual": spec.paper_oi_manual,
+                "paper_input_size": spec.paper_input_size,
+                "paper_ops": spec.paper_ops,
+                "notes": spec.notes,
+            }
+            for spec in all_kernels()
+        ]
+        print(json.dumps({"schema": 1, "kernels": entries}, indent=2))
+        return 0
     for spec in all_kernels():
         print(f"{spec.name:<16} {spec.category:<14} max_depth={spec.max_depth}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AnalysisService, ServiceServer
+
+    with AnalysisService(
+        store=_store_for(args), executor=args.executor, n_jobs=args.jobs
+    ) as service:
+        if args.port is None:
+            service.serve_stream(sys.stdin, sys.stdout)
+            return 0
+        with ServiceServer((args.host, args.port), service) as server:
+            host, port = server.server_address[:2]
+            print(
+                f"serving on {host}:{port} (JSON-lines; Ctrl-C to stop)",
+                file=sys.stderr,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
     return 0
 
 
@@ -262,6 +328,26 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_export(args: argparse.Namespace) -> int:
+    store = BoundStore(args.root)
+    count = store.export_archive(args.archive)
+    print(f"packed {count} entries from {store.root} into {args.archive}")
+    return 0
+
+
+def _cmd_cache_import(args: argparse.Namespace) -> int:
+    store = BoundStore(args.root)
+    try:
+        imported, skipped = store.import_archive(args.archive)
+    except (OSError, tarfile.ReadError) as error:
+        raise SystemExit(f"cannot read archive {args.archive!r}: {error}")
+    print(
+        f"imported {imported} entries into {store.root} "
+        f"({skipped} skipped: existing same-or-newer, or not store entries)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -286,7 +372,41 @@ def build_parser() -> argparse.ArgumentParser:
     suite.set_defaults(handler=_cmd_suite)
 
     kernels = commands.add_parser("kernels", help="list registered kernels")
+    kernels.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable kernel registry (for service clients)",
+    )
     kernels.set_defaults(handler=_cmd_kernels)
+
+    serve = commands.add_parser(
+        "serve",
+        help="JSON-lines analysis service: requests in, streamed results out",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="listen on TCP PORT (default: serve stdin/stdout; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="bind address for --port (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help="default task executor for requests that do not override it",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="default worker count for requests that do not override it",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="bound store root (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the persistent bound store (every request derives)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     cache = commands.add_parser("cache", help="maintain the persistent bound store")
     cache_commands = cache.add_subparsers(dest="cache_command", required=True)
@@ -317,6 +437,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache_clear = cache_commands.add_parser("clear", help="remove every store entry")
     _add_root_argument(cache_clear)
     cache_clear.set_defaults(handler=_cmd_cache_clear)
+
+    cache_export = cache_commands.add_parser(
+        "export", help="pack every store entry into a tarball (replication)"
+    )
+    cache_export.add_argument("archive", metavar="TAR", help="archive path to write")
+    _add_root_argument(cache_export)
+    cache_export.set_defaults(handler=_cmd_cache_export)
+
+    cache_import = cache_commands.add_parser(
+        "import",
+        help="unpack an exported tarball into the store "
+             "(never overwrites same-or-newer entries)",
+    )
+    cache_import.add_argument("archive", metavar="TAR", help="archive path to read")
+    _add_root_argument(cache_import)
+    cache_import.set_defaults(handler=_cmd_cache_import)
 
     return parser
 

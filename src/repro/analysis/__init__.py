@@ -9,17 +9,23 @@ kept for backward compatibility):
 * :class:`BoundStrategy` / :func:`register_strategy` — the pluggable
   sub-bound derivation families run by the Algorithm 6 driver
   (:class:`KPartitionStrategy` and :class:`WavefrontStrategy` are built in);
-* :mod:`~repro.analysis.plan` / :mod:`~repro.analysis.executor` — the
-  plan -> execute -> combine pipeline: every derivation is an explicit list
-  of independent :class:`DerivationTask` units scheduled over a pluggable
+* :mod:`~repro.analysis.plan` / :mod:`~repro.analysis.executor` /
+  :mod:`~repro.analysis.scheduler` — the plan -> schedule -> combine
+  pipeline: every derivation is an explicit list of independent
+  :class:`DerivationTask` units scheduled over a pluggable
   :class:`Executor` (:class:`SerialExecutor`, :class:`ThreadExecutor`,
   :class:`ProcessExecutor`; selected via ``AnalysisConfig(executor=...,
-  n_jobs=...)`` or ``$REPRO_EXECUTOR``), with results combined in plan order
-  so every executor produces byte-identical bounds;
+  n_jobs=...)`` or ``$REPRO_EXECUTOR``) by an event-driven scheduler
+  (:func:`schedule_plans`: one ready queue per batch, fewest-remaining
+  priority, combine-on-last-task), with results combined in plan order so
+  every executor and scheduling produces byte-identical bounds;
 * :class:`Analyzer` — ``analyze(program)`` for one program,
-  ``analyze_many(programs)`` for batches (the whole batch's tasks flow
-  through one shared executor) with on-disk memoisation keyed by
-  :func:`program_fingerprint` at both the result and the task level;
+  ``analyze_stream(programs)`` for streamed batches (results yielded in
+  completion order while later programs still derive),
+  ``analyze_many(programs)`` as its input-order collector (the whole
+  batch's tasks flow through one shared executor) with on-disk memoisation
+  keyed by :func:`program_fingerprint` at both the result and the task
+  level;
 * :class:`BoundStore` — the shared content-addressed persistent store behind
   that memoisation (``$REPRO_STORE`` / ``~/.cache/repro``), with schema
   negotiation, LRU eviction and ``stats``/``gc``/``clear`` maintenance;
@@ -45,9 +51,12 @@ from .analyzer import (
     program_fingerprint,
     reset_derivation_count,
     reset_task_derivation_count,
+    result_key,
     run_analysis,
+    stream_analyses,
     task_derivation_count,
 )
+from .scheduler import schedule_plans
 from .config import (
     DEFAULT_CACHE_SIZE,
     DEFAULT_GAMMA,
@@ -141,10 +150,13 @@ __all__ = [
     "resolve_executor",
     "resolve_store",
     "resolve_strategies",
+    "result_key",
     "results_from_document",
     "results_to_document",
     "run_analysis",
     "save_results",
+    "schedule_plans",
+    "stream_analyses",
     "task_derivation_count",
     "unregister_strategy",
 ]

@@ -7,18 +7,23 @@ executed.  A derivation is an explicit three-stage pipeline:
 1. **plan** — :func:`repro.analysis.plan.plan_program` asks every configured
    strategy for its independent :class:`~repro.analysis.plan.DerivationTask`
    units (one per statement x strategy x depth);
-2. **execute** — :func:`execute_plans` runs the tasks over a pluggable
+2. **schedule** — :func:`repro.analysis.scheduler.schedule_plans` runs the
+   whole batch's tasks through one event loop over a pluggable
    :class:`~repro.analysis.executor.Executor` (serial, thread pool or
    process pool, selected by ``AnalysisConfig(executor=..., n_jobs=...)`` or
    ``$REPRO_EXECUTOR``), memoising each finished task in the
-   :class:`~repro.analysis.store.BoundStore` keyed by its task fingerprint;
+   :class:`~repro.analysis.store.BoundStore` keyed by its task fingerprint
+   and handing each program's task set back the moment its last task lands;
 3. **combine** — :func:`combine_plan` merges the task results **in plan
    order** (never completion order) through the decomposition lemma, so the
    final bound, its sub-bound list and its log are byte-identical across
    executors and schedulings.
 
-:meth:`Analyzer.analyze_many` feeds the whole batch's task set through one
-shared executor — a single ``suite --jobs 8`` schedules every kernel's tasks
+:meth:`Analyzer.analyze_stream` exposes the streaming shape directly —
+results are yielded in completion order while later programs are still
+deriving — and :meth:`Analyzer.analyze_many` is a thin input-order collector
+over the same stream.  Both feed the whole batch's task set through one
+shared executor: a single ``suite --jobs 8`` schedules every kernel's tasks
 in one work queue instead of paying a pool per program.
 
 The legacy :func:`repro.core.iolb.derive_bounds` free function is now a thin
@@ -28,9 +33,8 @@ wrapper over this class.
 from __future__ import annotations
 
 import hashlib
-import threading
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import sympy
 
@@ -42,90 +46,32 @@ from .executor import Executor, resolve_executor
 from .plan import (
     DerivationPlan,
     TaskResult,
-    dfg_for,
     plan_program,
     program_fingerprint,
-    run_strategy_task,
+)
+from .scheduler import (
+    _count_program_derivation,
+    derivation_count,
+    reset_derivation_count,
+    reset_task_derivation_count,
+    schedule_plans,
+    task_derivation_count,
 )
 from .store import DERIVATION_VERSION, BoundStore, resolve_store
-from .strategies import get_strategy
 
-# -- derivation counters ------------------------------------------------------
-#
-# Two granularities, one lock.  The *program* counter backs the warm-store
-# invariant (a warm suite run performs zero derivations); the *task* counter
-# backs resume tests (a half-finished run re-executes only the missing
-# tasks).  Both are counted on the requester side — also for tasks that ran
-# in a worker process — so the numbers mean the same thing on every executor.
-
-_count_lock = threading.Lock()
-_derivations = 0
-_task_derivations = 0
-
-
-def derivation_count() -> int:
-    """Number of full program derivations run since the last reset.
-
-    Counts every :func:`run_analysis`-equivalent pipeline run that was not
-    served from the result-level store (task-level store hits inside a run
-    do not make it free: the plan and combination still execute).
-    """
-    return _derivations
-
-
-def reset_derivation_count() -> int:
-    """Reset the process-wide derivation counter; returns the prior count."""
-    global _derivations
-    with _count_lock:
-        previous = _derivations
-        _derivations = 0
-    return previous
-
-
-def task_derivation_count() -> int:
-    """Number of individual derivation tasks executed since the last reset.
-
-    Task-level store hits do not count; tasks executed in worker threads or
-    processes do (they are accounted on the requester side as their results
-    arrive, so the granularity is identical across executors).
-    """
-    return _task_derivations
-
-
-def reset_task_derivation_count() -> int:
-    """Reset the process-wide task counter; returns the prior count."""
-    global _task_derivations
-    with _count_lock:
-        previous = _task_derivations
-        _task_derivations = 0
-    return previous
-
-
-def _count_program_derivation() -> None:
-    global _derivations
-    with _count_lock:
-        _derivations += 1
-
-
-def _count_task_derivations(count: int) -> None:
-    global _task_derivations
-    with _count_lock:
-        _task_derivations += count
-
-
-def _execute_payload(payload: tuple) -> TaskResult:
-    """Module-level task entry point (must be picklable for process pools).
-
-    The DFG comes from the per-process cache shared with the planner
-    (:func:`repro.analysis.plan.dfg_for`): in-process executors reuse the
-    plan-time DFG, a pool worker builds it once per program.  The plan's
-    fingerprint rides along so the cache lookup never re-hashes the program.
-    """
-    program, config, task, fingerprint = payload
-    dfg = dfg_for(program, fingerprint)
-    strategy = get_strategy(task.strategy)
-    instance = config.heuristic_instance(program.params)
-    return run_strategy_task(strategy, dfg, config, instance, task)
+__all__ = [
+    "Analyzer",
+    "combine_plan",
+    "derivation_count",
+    "execute_plan",
+    "execute_plans",
+    "reset_derivation_count",
+    "reset_task_derivation_count",
+    "result_key",
+    "run_analysis",
+    "stream_analyses",
+    "task_derivation_count",
+]
 
 
 # -- the pipeline stages ------------------------------------------------------
@@ -138,62 +84,25 @@ def execute_plans(
 ) -> list[list[TaskResult]]:
     """Execute every task of every plan through one shared executor.
 
-    Tasks already present in ``store`` (matched by task fingerprint) are
-    reloaded instead of re-executed; freshly executed tasks are written back
-    one by one as they complete, so a run killed half-way leaves its
-    finished sub-bounds behind for the next run to resume from.
+    The barrier-shaped collector over the event-driven scheduler: tasks
+    already present in ``store`` (matched by task fingerprint) are reloaded
+    instead of re-executed, freshly executed tasks are written back one by
+    one as they complete (so a run killed half-way leaves its finished
+    sub-bounds behind for the next run to resume from), and the call returns
+    only once every plan is done.
 
     Returns one ``TaskResult`` list per plan, each in **plan order**
     regardless of the order in which the executor completed the tasks.
+    Callers that want results as they land should iterate
+    :func:`~repro.analysis.scheduler.schedule_plans` directly (or use
+    :meth:`Analyzer.analyze_stream`).
     """
-    if not plans:
-        return []
-    owns_executor = executor is None or isinstance(executor, str)
-    resolved = resolve_executor(
-        executor if executor is not None else plans[0].config.executor,
-        plans[0].config.n_jobs,
-    )
-
-    results: list[list[TaskResult | None]] = [[None] * len(plan.tasks) for plan in plans]
-    pending: list[tuple[int, int]] = []  # (plan index, task index)
-    keys: dict[tuple[int, int], str] = {}
-    for plan_index, plan in enumerate(plans):
-        for task_index, task in enumerate(plan.tasks):
-            if store is not None:
-                key = plan.task_key(task)
-                keys[(plan_index, task_index)] = key
-                payload = store.get_task(key)
-                if payload is not None:
-                    try:
-                        results[plan_index][task_index] = TaskResult.from_dict(
-                            payload, task=task
-                        )
-                        continue
-                    except (KeyError, ValueError, TypeError):
-                        pass  # unreadable entry: fall through and re-derive
-            pending.append((plan_index, task_index))
-
-    if pending:
-        payloads = [
-            (plans[i].program, plans[i].config, plans[i].tasks[j], plans[i].fingerprint)
-            for i, j in pending
-        ]
-        try:
-            for index, task_result in resolved.map(_execute_payload, payloads):
-                plan_index, task_index = pending[index]
-                results[plan_index][task_index] = task_result
-                _count_task_derivations(1)
-                if store is not None:
-                    # Persist immediately: completion order does not matter
-                    # for correctness, and a crash loses only in-flight tasks.
-                    store.put_task(keys[(plan_index, task_index)], task_result.to_dict())
-        finally:
-            if owns_executor:
-                resolved.close()
-
-    # Every slot is filled: tasks were either reloaded or executed above (an
-    # executor failure propagates out of the loop instead of leaving holes).
-    return [list(plan_results) for plan_results in results]  # type: ignore[arg-type]
+    results: list[list[TaskResult] | None] = [None] * len(plans)
+    for plan_index, task_results in schedule_plans(plans, executor=executor, store=store):
+        results[plan_index] = task_results
+    # Every slot is filled: the scheduler yields each plan exactly once (a
+    # task failure propagates out of the loop instead of leaving holes).
+    return results  # type: ignore[return-value]
 
 
 def execute_plan(
@@ -259,12 +168,94 @@ def run_analysis(
     The result-cache-free core.  ``executor`` defaults to the config's
     (``AnalysisConfig(executor=...)`` / ``$REPRO_EXECUTOR`` / serial);
     passing a ``store`` additionally memoises the individual tasks, so an
-    interrupted run resumes from its finished sub-bounds.
+    interrupted run resumes from its finished sub-bounds.  An executor this
+    call resolves itself (a name or ``None``) is closed in a ``finally`` —
+    cancelling any still-queued tasks — so a KeyboardInterrupt mid-run
+    leaves no orphan workers behind.
     """
     _count_program_derivation()
     plan = plan_program(program, config)
-    task_results = execute_plan(plan, executor=executor, store=store)
-    return combine_plan(plan, task_results)
+    owns_executor = executor is None or isinstance(executor, str)
+    resolved = resolve_executor(
+        executor if executor is not None else config.executor, config.n_jobs
+    )
+    try:
+        task_results = execute_plan(plan, executor=resolved, store=store)
+        return combine_plan(plan, task_results)
+    finally:
+        if owns_executor:
+            resolved.close()
+
+
+def result_key(program: AffineProgram, config: AnalysisConfig) -> str:
+    """Result-store key: program fingerprint x config signature x version.
+
+    The derivation version guards correctness across upgrades: a bound
+    derived by older code with different semantics keys differently and is
+    simply never found, forcing a fresh derivation.
+    """
+    config_digest = hashlib.sha256(
+        f"v{DERIVATION_VERSION}:{config.signature()!r}".encode("utf-8")
+    ).hexdigest()
+    return f"{program_fingerprint(program)}-{config_digest[:16]}"
+
+
+def stream_analyses(
+    jobs: Sequence[tuple[AffineProgram, AnalysisConfig]],
+    executor: Executor | str | None = None,
+    store: BoundStore | None = None,
+) -> Iterator[tuple[int, IOBoundResult]]:
+    """Stream ``(job_index, result)`` pairs in completion order.
+
+    The engine under both :meth:`Analyzer.analyze_stream` (one config, many
+    programs) and :func:`repro.polybench.analyze_suite_stream` (per-kernel
+    configs): every job's tasks enter one
+    :func:`~repro.analysis.scheduler.schedule_plans` ready queue, and a
+    job's bound is combined and yielded the moment its last task lands —
+    while other jobs' tasks are still running.
+
+    Ordering: store-satisfied jobs first (in job order — a warm job never
+    waits behind a cold one), then completion order.  Jobs that share a
+    result key (same program content, same result-relevant config) are
+    derived once and fanned out to every index that asked, immediately after
+    one another.  Results are byte-identical to the barrier pipeline's: only
+    *when* a result is yielded depends on scheduling, never its content.
+    """
+    jobs = list(jobs)
+    # One fingerprint+digest pass per job: the key is reused for the cache
+    # check, the dedup grouping and the result write-back below.
+    keys = [result_key(program, config) for program, config in jobs]
+    pending: list[int] = []
+    for index, (program, config) in enumerate(jobs):
+        cached = store.get(keys[index]) if store is not None else None
+        if cached is not None:
+            yield index, cached
+        else:
+            pending.append(index)
+    if not pending:
+        return
+
+    # Duplicate jobs (same result key) share one derivation: the result is
+    # fanned out to every index that asked for it.
+    by_key: dict[str, list[int]] = {}
+    for index in pending:
+        by_key.setdefault(keys[index], []).append(index)
+    groups = list(by_key.values())
+
+    plans = [plan_program(*jobs[indices[0]]) for indices in groups]
+    for plan_index, task_results in schedule_plans(plans, executor=executor, store=store):
+        _count_program_derivation()
+        result = combine_plan(plans[plan_index], task_results)
+        indices = groups[plan_index]
+        _program, config = jobs[indices[0]]
+        if store is not None:
+            store.put(
+                keys[indices[0]],
+                result,
+                metadata={"config_signature": repr(config.signature())},
+            )
+        for index in indices:
+            yield index, result
 
 
 class Analyzer:
@@ -277,6 +268,8 @@ class Analyzer:
         analyzer = Analyzer(AnalysisConfig(max_depth=1))
         result = analyzer.analyze(program)
         results = analyzer.analyze_many(programs)   # fans out when n_jobs > 1
+        for name, result in analyzer.analyze_stream(programs):
+            ...                                     # completion order, streamed
 
     With a :class:`~repro.analysis.store.BoundStore` attached (an explicit
     ``store=`` argument, or ``config.cache_dir`` as a thin alias for a store
@@ -314,7 +307,32 @@ class Analyzer:
         """The derivation plan this analyzer would execute for ``program``."""
         return plan_program(program, self.config)
 
-    # -- batch entry point ---------------------------------------------------
+    # -- batch entry points ---------------------------------------------------
+
+    def analyze_stream(
+        self,
+        programs: Iterable[AffineProgram],
+        executor: Executor | str | None = None,
+    ) -> Iterator[tuple[str, IOBoundResult]]:
+        """Stream ``(program_name, result)`` pairs in **completion order**.
+
+        The streaming face of the batch pipeline: every uncached program's
+        tasks enter one event-driven scheduler ready queue, and a program's
+        bound is yielded the moment its last task lands — while other
+        programs' tasks are still running.  Store-satisfied programs stream
+        out first (in input order) without waiting on any derivation, which
+        is what gives a warm service request sub-millisecond turnaround.
+
+        Each input program yields exactly one pair; duplicates (same content
+        and result-relevant config) are derived once and fanned out.  The
+        yielded results are byte-identical to :meth:`analyze_many`'s — only
+        the iteration order differs.
+        """
+        batch = list(programs)
+        jobs = [(program, self.config) for program in batch]
+        resolved = executor if executor is not None else self.config.executor
+        for index, result in stream_analyses(jobs, executor=resolved, store=self.store):
+            yield batch[index].name, result
 
     def analyze_many(
         self,
@@ -323,46 +341,21 @@ class Analyzer:
     ) -> list[IOBoundResult]:
         """Derive bounds for a batch of programs, preserving input order.
 
-        All uncached derivations are planned first, and the union of their
-        tasks is fed through **one** executor (the config's, or an explicit
-        ``executor=`` — pass a live instance to share one pool across
-        batches); cached results are returned without scheduling anything.
-        The output list is index-aligned with ``programs`` — every program
-        yields exactly one result, and a derivation that silently produces
-        nothing raises :class:`RuntimeError` rather than shifting later
-        results onto earlier slots.
+        A plan-order collector over :meth:`analyze_stream`: all uncached
+        derivations flow through **one** shared executor (the config's, or
+        an explicit ``executor=`` — pass a live instance to share one pool
+        across batches), and the collected list is index-aligned with
+        ``programs``.  Every program yields exactly one result, and a
+        derivation that silently produces nothing raises
+        :class:`RuntimeError` rather than shifting later results onto
+        earlier slots.
         """
         batch: Sequence[AffineProgram] = list(programs)
+        jobs = [(program, self.config) for program in batch]
         results: list[IOBoundResult | None] = [None] * len(batch)
-
-        pending: list[int] = []
-        for index, program in enumerate(batch):
-            cached = self._cache_load(program)
-            if cached is not None:
-                results[index] = cached
-            else:
-                pending.append(index)
-
-        if pending:
-            # Duplicate programs (same store key) share one derivation: the
-            # result is fanned out to every index that asked for it.
-            by_key: dict[str, list[int]] = {}
-            for index in pending:
-                by_key.setdefault(self.cache_key(batch[index]), []).append(index)
-            groups = list(by_key.values())
-
-            plans = [plan_program(batch[indices[0]], self.config) for indices in groups]
-            per_plan = execute_plans(
-                plans,
-                executor=executor if executor is not None else self.config.executor,
-                store=self.store,
-            )
-            for plan, indices, task_results in zip(plans, groups, per_plan):
-                _count_program_derivation()
-                result = combine_plan(plan, task_results)
-                self._cache_store(batch[indices[0]], result)
-                for index in indices:
-                    results[index] = result
+        resolved = executor if executor is not None else self.config.executor
+        for index, result in stream_analyses(jobs, executor=resolved, store=self.store):
+            results[index] = result
 
         missing = [index for index, result in enumerate(results) if result is None]
         if missing:
@@ -378,14 +371,9 @@ class Analyzer:
     def cache_key(self, program: AffineProgram) -> str:
         """Store key: program fingerprint x config signature x semantics version.
 
-        The derivation version guards correctness across upgrades: a bound
-        derived by older code with different semantics keys differently and
-        is simply never found, forcing a fresh derivation.
+        See :func:`result_key` (this is it, bound to the analyzer's config).
         """
-        config_digest = hashlib.sha256(
-            f"v{DERIVATION_VERSION}:{self.config.signature()!r}".encode("utf-8")
-        ).hexdigest()
-        return f"{program_fingerprint(program)}-{config_digest[:16]}"
+        return result_key(program, self.config)
 
     def _cache_load(self, program: AffineProgram) -> IOBoundResult | None:
         if self.store is None:

@@ -11,16 +11,25 @@ A plan (:mod:`repro.analysis.plan`) is a list of independent tasks; an
   (true parallelism; tasks, programs and configs are pickled to the
   workers).
 
-Executors expose one operation, :meth:`Executor.map`, which yields
-``(index, result)`` pairs **in completion order**.  Consumers that need
-determinism (all of them) must re-order by index — the combination step of
+Executors expose :meth:`Executor.map`, which yields ``(index, result)``
+pairs **in completion order**.  Consumers that need determinism (all of
+them) must re-order by index — the combination step of
 :func:`repro.analysis.analyzer.execute_plans` does exactly that, which is
-what makes the final bound independent of scheduling.
+what makes the final bound independent of scheduling.  Pool executors
+additionally expose :meth:`_PoolExecutor.submit` (one task, returning a
+:class:`~concurrent.futures.Future`): the hook the event-driven scheduler
+(:mod:`repro.analysis.scheduler`) uses to keep a bounded number of tasks in
+flight and refill in priority order as completions arrive.  ``submit`` is
+optional in the protocol — map-only executors still work everywhere, they
+just receive their work queue up front.
 
 Pools are created lazily on first use and kept open across ``map`` calls, so
 a whole suite batch (every kernel's tasks) flows through **one** work queue
 instead of paying a pool startup per program; close an executor explicitly
-(or use it as a context manager) when done.
+(or use it as a context manager) when done.  ``close`` **cancels anything
+still queued** before reaping the workers, so closing from an interrupt
+handler (or a ``finally`` after Ctrl-C) leaves no orphan worker processes
+grinding through abandoned tasks.
 
 Trust boundary: the process executor runs the same code as the caller, in
 child processes of the caller, with the caller's privileges — it is a
@@ -127,9 +136,21 @@ class _PoolExecutor(_ExecutorBase):
         for future in concurrent.futures.as_completed(futures):
             yield futures[future], future.result()
 
+    def submit(self, fn, item) -> concurrent.futures.Future:
+        """Schedule one task on the pool, returning its future.
+
+        This is the event-driven entry point: where ``map`` commits a whole
+        work list at once, ``submit`` lets a scheduler decide the next task
+        only when a worker actually frees up.
+        """
+        return self._ensure_pool().submit(fn, item)
+
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # cancel_futures: a close racing live work (Ctrl-C mid-suite)
+            # drops everything still queued instead of letting the workers
+            # grind through abandoned tasks before the join.
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
 

@@ -1,0 +1,276 @@
+"""Event-driven streaming scheduler: the *when* of the derivation pipeline.
+
+:mod:`repro.analysis.plan` makes a derivation an explicit list of independent
+tasks and :mod:`repro.analysis.executor` decides where they run; this module
+decides **when** — and, crucially, when each program's *combine* step fires.
+The barrier-style reference pipeline (``execute_plans``) waited for a whole
+batch's task set before combining anything; :func:`schedule_plans` instead
+runs one event loop over the union of every plan's tasks:
+
+* all tasks of all plans enter a single **ready queue**;
+* workers pull tasks in **priority order** — fewest-remaining-tasks-per-program
+  first (ties broken by plan position, then task position, so scheduling is
+  reproducible) — which drains small programs early instead of striping
+  round-robin across the batch;
+* each plan's results are collected as its tasks land, and the moment a
+  plan's **last task** completes the plan is yielded to the caller — so
+  program 1's bound streams out while program 30's tasks are still running.
+
+Determinism is inherited from the plan layer, not re-derived here: a plan's
+task results are yielded **in plan order** whatever order they completed in,
+so combining a yielded plan produces byte-identical bounds on every executor
+and every scheduling (the CI-enforced invariant of PR 4).  The only thing
+that varies across schedulers is the order *between* plans — completion
+order by construction — and collectors such as ``execute_plans`` re-order by
+plan index, which is why the barrier API could be rebuilt on top of this
+module without changing a byte of its output.
+
+Executors participate in one of three ways:
+
+* executors with a ``submit`` method (the thread/process pools) run a true
+  event loop: at most ``n_jobs`` tasks in flight, refilled in priority order
+  as completions arrive (:func:`concurrent.futures.wait`);
+* map-only executors (:class:`~repro.analysis.executor.SerialExecutor`,
+  third-party plug-ins) receive every pending task up front, sorted by the
+  same priority rule, and completions stream back through their ``map`` —
+  still firing each plan's combine as its last task lands;
+* a ``store`` short-circuits both: tasks already present are reloaded during
+  enqueue, plans that become complete without executing anything are yielded
+  immediately (this is what gives a warm service request sub-millisecond
+  turnaround), and freshly executed tasks are persisted one by one as they
+  complete, so an interrupted run resumes from every finished task.
+
+On any failure — a task raising, or the consumer abandoning the stream —
+not-yet-started futures are cancelled and owned executors are closed
+(:meth:`~repro.analysis.executor._PoolExecutor.close` also cancels anything
+still queued in the pool), so a Ctrl-C'd run leaves no orphan workers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Iterator, Sequence
+
+from .executor import Executor, resolve_executor
+from .plan import DerivationPlan, TaskResult, dfg_for, run_strategy_task
+from .store import BoundStore
+from .strategies import get_strategy
+
+# -- derivation counters ------------------------------------------------------
+#
+# Two granularities, one lock.  The *program* counter backs the warm-store
+# invariant (a warm suite run performs zero derivations); the *task* counter
+# backs resume tests (a half-finished run re-executes only the missing
+# tasks).  Both are counted on the requester side — also for tasks that ran
+# in a worker process — so the numbers mean the same thing on every executor.
+
+_count_lock = threading.Lock()
+_derivations = 0
+_task_derivations = 0
+
+
+def derivation_count() -> int:
+    """Number of full program derivations run since the last reset.
+
+    Counts every plan→execute→combine pipeline run that was not served from
+    the result-level store (task-level store hits inside a run do not make
+    it free: the plan and combination still execute).
+    """
+    return _derivations
+
+
+def reset_derivation_count() -> int:
+    """Reset the process-wide derivation counter; returns the prior count."""
+    global _derivations
+    with _count_lock:
+        previous = _derivations
+        _derivations = 0
+    return previous
+
+
+def task_derivation_count() -> int:
+    """Number of individual derivation tasks executed since the last reset.
+
+    Task-level store hits do not count; tasks executed in worker threads or
+    processes do (they are accounted on the requester side as their results
+    arrive, so the granularity is identical across executors).
+    """
+    return _task_derivations
+
+
+def reset_task_derivation_count() -> int:
+    """Reset the process-wide task counter; returns the prior count."""
+    global _task_derivations
+    with _count_lock:
+        previous = _task_derivations
+        _task_derivations = 0
+    return previous
+
+
+def _count_program_derivation() -> None:
+    global _derivations
+    with _count_lock:
+        _derivations += 1
+
+
+def _count_task_derivations(count: int) -> None:
+    global _task_derivations
+    with _count_lock:
+        _task_derivations += count
+
+
+def _execute_payload(payload: tuple) -> TaskResult:
+    """Module-level task entry point (must be picklable for process pools).
+
+    The DFG comes from the per-process cache shared with the planner
+    (:func:`repro.analysis.plan.dfg_for`): in-process executors reuse the
+    plan-time DFG, a pool worker builds it once per program.  The plan's
+    fingerprint rides along so the cache lookup never re-hashes the program.
+    """
+    program, config, task, fingerprint = payload
+    dfg = dfg_for(program, fingerprint)
+    strategy = get_strategy(task.strategy)
+    instance = config.heuristic_instance(program.params)
+    return run_strategy_task(strategy, dfg, config, instance, task)
+
+
+# -- the scheduler ------------------------------------------------------------
+
+
+def schedule_plans(
+    plans: Sequence[DerivationPlan],
+    executor: "Executor | str | None" = None,
+    store: BoundStore | None = None,
+) -> Iterator[tuple[int, list[TaskResult]]]:
+    """Stream ``(plan_index, task_results)`` pairs in plan-completion order.
+
+    Every plan's tasks enter one ready queue; a plan is yielded the moment
+    its last task lands, with its results listed **in plan order** (so the
+    downstream combine is byte-deterministic).  Plans fully satisfied by the
+    ``store`` are yielded first, by ascending plan index, without executing
+    anything.
+
+    An ``executor`` given by name (or ``None``, resolved from the first
+    plan's config) is owned by the scheduler and closed — cancelling
+    anything still queued — when the stream ends, errors, or is abandoned;
+    a live instance stays the caller's to close.
+    """
+    if not plans:
+        return
+    owns_executor = executor is None or isinstance(executor, str)
+    resolved = resolve_executor(
+        executor if executor is not None else plans[0].config.executor,
+        plans[0].config.n_jobs,
+    )
+    try:
+        yield from _run_event_loop(plans, resolved, store)
+    finally:
+        if owns_executor:
+            resolved.close()
+
+
+def _run_event_loop(
+    plans: Sequence[DerivationPlan],
+    executor: Executor,
+    store: BoundStore | None,
+) -> Iterator[tuple[int, list[TaskResult]]]:
+    results: list[list[TaskResult | None]] = [[None] * len(plan.tasks) for plan in plans]
+    #: Per-plan queues of not-yet-submitted task indices, in plan order.
+    pending: dict[int, list[int]] = {}
+    #: Unfinished (queued or in-flight) task count per plan — the priority.
+    remaining = [0] * len(plans)
+    keys: dict[tuple[int, int], str] = {}
+
+    for plan_index, plan in enumerate(plans):
+        todo: list[int] = []
+        for task_index, task in enumerate(plan.tasks):
+            if store is not None:
+                key = plan.task_key(task)
+                keys[(plan_index, task_index)] = key
+                payload = store.get_task(key)
+                if payload is not None:
+                    try:
+                        results[plan_index][task_index] = TaskResult.from_dict(
+                            payload, task=task
+                        )
+                        continue
+                    except (KeyError, ValueError, TypeError):
+                        pass  # unreadable entry: fall through and re-derive
+            todo.append(task_index)
+        remaining[plan_index] = len(todo)
+        if todo:
+            pending[plan_index] = todo
+
+    # Warm (or task-less) plans stream out before anything executes.
+    for plan_index in range(len(plans)):
+        if remaining[plan_index] == 0:
+            yield plan_index, list(results[plan_index])  # type: ignore[arg-type]
+    if not pending:
+        return
+
+    def payload_for(plan_index: int, task_index: int) -> tuple:
+        plan = plans[plan_index]
+        return (plan.program, plan.config, plan.tasks[task_index], plan.fingerprint)
+
+    def pick() -> tuple[int, int]:
+        """Next task: from the program with fewest unfinished tasks."""
+        plan_index = min(pending, key=lambda index: (remaining[index], index))
+        queue = pending[plan_index]
+        task_index = queue.pop(0)
+        if not queue:
+            del pending[plan_index]
+        return plan_index, task_index
+
+    def complete(plan_index: int, task_index: int, task_result: TaskResult) -> bool:
+        """Record a landed task; True when it was its plan's last one."""
+        results[plan_index][task_index] = task_result
+        _count_task_derivations(1)
+        if store is not None:
+            # Persist immediately: completion order does not matter for
+            # correctness, and a crash loses only in-flight tasks.  The
+            # enqueue loop keyed every task when a store is present.
+            store.put_task(keys[(plan_index, task_index)], task_result.to_dict())
+        remaining[plan_index] -= 1
+        return remaining[plan_index] == 0
+
+    submit = getattr(executor, "submit", None)
+    if submit is None:
+        # Map-only executor (serial, or a third-party plug-in): commit the
+        # whole queue up front in priority order and stream its completions.
+        order: list[tuple[int, int]] = []
+        while pending:
+            order.append(pick())
+        payloads = [payload_for(*coords) for coords in order]
+        for index, task_result in executor.map(_execute_payload, payloads):
+            plan_index, task_index = order[index]
+            if complete(plan_index, task_index, task_result):
+                yield plan_index, list(results[plan_index])  # type: ignore[arg-type]
+        return
+
+    # True event loop: keep at most n_jobs tasks in flight, refilling in
+    # (dynamic) priority order as completions arrive.
+    max_in_flight = max(1, int(getattr(executor, "n_jobs", 1)))
+    in_flight: dict[concurrent.futures.Future, tuple[int, int]] = {}
+    try:
+        while pending or in_flight:
+            while pending and len(in_flight) < max_in_flight:
+                plan_index, task_index = pick()
+                future = submit(_execute_payload, payload_for(plan_index, task_index))
+                in_flight[future] = (plan_index, task_index)
+            done, _ = concurrent.futures.wait(
+                in_flight, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            # A wave of simultaneous completions is processed in task-
+            # coordinate order so plan-completion order stays reproducible.
+            for future in sorted(done, key=lambda item: in_flight[item]):
+                plan_index, task_index = in_flight.pop(future)
+                if complete(plan_index, task_index, future.result()):
+                    yield plan_index, list(results[plan_index])  # type: ignore[arg-type]
+    except BaseException:
+        # A failing task (or an abandoned consumer) must not strand queued
+        # work: cancel whatever has not started.  Running tasks finish in
+        # the pool; the owning close() below reaps the workers themselves.
+        for future in in_flight:
+            future.cancel()
+        raise

@@ -39,9 +39,11 @@ Maintenance is exposed programmatically (:meth:`stats`, :meth:`gc`,
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import re
+import tarfile
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -81,6 +83,16 @@ _SIZE_SUFFIXES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
 #: root that also holds unrelated JSON (exported suite documents, notes)
 #: never loses them.
 _KEY_PATTERN = re.compile(r"[0-9a-f]{64}-[0-9a-f]{16}")
+
+#: Archive member names accepted by :meth:`BoundStore.import_archive`: the
+#: sharded layout with either a result key or a ``-task`` key as the stem.
+#: Anything else in the tar — absolute paths, ``..`` traversals, unrelated
+#: files — is skipped, never extracted: members are read through
+#: ``extractfile`` and re-written through the store's own atomic write path,
+#: so a hostile archive cannot place a file anywhere but a valid entry slot.
+_ARCHIVE_MEMBER_PATTERN = re.compile(
+    r"objects/[0-9a-f]{2}/([0-9a-f]{64}-(?:[0-9a-f]{16}|task))\.json"
+)
 
 #: With a size budget configured, ``put`` triggers a full ``gc`` sweep only
 #: every this many writes — a sweep walks and stats the whole store, so
@@ -359,6 +371,97 @@ class BoundStore:
             if self._writes_since_gc >= GC_WRITE_INTERVAL:
                 self.gc()
         return path
+
+    # -- replication ----------------------------------------------------------
+
+    def export_archive(self, path: str | Path) -> int:
+        """Pack every store entry into a gzipped tar at ``path``.
+
+        The archive holds the sharded ``objects/<2-hex>/<key>.json`` layout
+        verbatim (results and task entries alike), so it can be imported
+        into any other store root — the "replicate a store across machines"
+        path.  The tar is written to a temporary sibling and moved into
+        place atomically.  Returns the number of entries packed.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        count = 0
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".export-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                with tarfile.open(fileobj=stream, mode="w:gz") as archive:
+                    for entry in self._entries():
+                        try:
+                            data = entry.read_bytes()
+                        except OSError:
+                            continue  # evicted by a concurrent gc
+                        member = tarfile.TarInfo(
+                            f"objects/{entry.parent.name}/{entry.name}"
+                        )
+                        member.size = len(data)
+                        archive.addfile(member, io.BytesIO(data))
+                        count += 1
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return count
+
+    def import_archive(self, path: str | Path) -> tuple[int, int]:
+        """Unpack a :meth:`export_archive` tar into this store.
+
+        Schema negotiation mirrors the read path: an incoming entry is
+        written only into an empty (or unreadable) slot, or over an entry
+        with a strictly *older* envelope version — an existing entry of the
+        same or newer ``store_schema`` is **never overwritten**, so a
+        replica import can only add knowledge, not roll it back.  Entries
+        exported by a *newer* library version (``store_schema`` above this
+        library's) are skipped too: this library could neither read them nor
+        ever replace them (``put`` refuses to overwrite newer entries), so
+        accepting them would permanently poison the slot.  Members that are
+        not well-formed store entries (bad names, path traversal, unparsable
+        JSON) are skipped.  Returns ``(imported, skipped)``.
+        """
+        imported = 0
+        skipped = 0
+        with tarfile.open(path, mode="r:*") as archive:
+            for member in archive:
+                if not member.isfile():
+                    continue
+                match = _ARCHIVE_MEMBER_PATTERN.fullmatch(member.name.lstrip("./"))
+                if match is None:
+                    skipped += 1
+                    continue
+                key = match.group(1)
+                stream = archive.extractfile(member)
+                if stream is None:
+                    skipped += 1
+                    continue
+                try:
+                    payload = json.load(stream)
+                except (ValueError, OSError):
+                    skipped += 1
+                    continue
+                if not isinstance(payload, dict):
+                    skipped += 1
+                    continue
+                if _entry_schema(payload) > STORE_SCHEMA:
+                    skipped += 1
+                    continue
+                existing = _read_json(self.path_for(key))
+                if existing is not None and _entry_schema(existing) >= _entry_schema(payload):
+                    skipped += 1
+                    continue
+                if self._write_entry(key, payload) is None:
+                    skipped += 1
+                else:
+                    imported += 1
+        return imported, skipped
 
     # -- maintenance ----------------------------------------------------------
 

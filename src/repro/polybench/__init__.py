@@ -14,6 +14,7 @@ from .suite import (
     KernelAnalysis,
     analyze_kernel,
     analyze_suite,
+    analyze_suite_stream,
     figure6_rows,
     simulate_tiled_oi,
     table1_rows,
@@ -31,6 +32,7 @@ __all__ = [
     "all_kernels",
     "analyze_kernel",
     "analyze_suite",
+    "analyze_suite_stream",
     "figure6_rows",
     "get_kernel",
     "kernel_names",

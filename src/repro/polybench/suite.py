@@ -13,11 +13,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 import sympy
 
-from ..analysis import AnalysisConfig, Analyzer, BoundStore, Executor, resolve_executor
+from ..analysis import (
+    AnalysisConfig,
+    Analyzer,
+    BoundStore,
+    Executor,
+    resolve_store,
+    stream_analyses,
+)
 from ..core import (
     IOBoundResult,
     PAPER_CACHE_WORDS,
@@ -74,6 +81,60 @@ def analyze_kernel(
     return KernelAnalysis(spec=spec, result=analyzer.analyze(spec.program))
 
 
+def _suite_jobs(
+    specs: list[KernelSpec],
+    config: AnalysisConfig | None,
+    n_jobs: int | None,
+    executor: "Executor | str | None",
+    **kwargs,
+) -> list[tuple[KernelSpec, AnalysisConfig]]:
+    """Pair every spec with its effective config (spec defaults + overrides)."""
+    jobs = []
+    for spec in specs:
+        kernel_config = _kernel_config(spec, config, **kwargs)
+        if n_jobs is not None:
+            kernel_config = kernel_config.replace(n_jobs=n_jobs)
+        if executor is not None and isinstance(executor, str):
+            kernel_config = kernel_config.replace(executor=executor)
+        jobs.append((spec, kernel_config))
+    return jobs
+
+
+def analyze_suite_stream(
+    names: Iterable[str] | None = None,
+    config: AnalysisConfig | None = None,
+    n_jobs: int | None = None,
+    store: BoundStore | None = None,
+    executor: "Executor | str | None" = None,
+    **kwargs,
+) -> Iterator[KernelAnalysis]:
+    """Stream suite results in **completion order**, one per requested kernel.
+
+    Every kernel's derivation tasks — across per-kernel configurations
+    (registered wavefront depths differ) — enter **one** event-driven
+    scheduler ready queue over one shared executor, and a kernel's
+    :class:`KernelAnalysis` is yielded the moment its last task lands: the
+    first bounds stream out while later kernels are still deriving.
+    Store-satisfied kernels stream out first without waiting on any
+    derivation.  Results are byte-identical to :func:`analyze_suite`'s —
+    only the iteration order differs.
+    """
+    specs = all_kernels() if names is None else [get_kernel(n) for n in names]
+    jobs = _suite_jobs(specs, config, n_jobs, executor, **kwargs)
+    if store is None and jobs:
+        store = resolve_store(None, jobs[0][1].cache_dir)
+    # Executor resolution (env, n_jobs fallback) happens inside the
+    # scheduler, seeded by the first pending job's config; a name or None
+    # keeps ownership there so the pool is closed even on early exit, while
+    # a live instance stays the caller's to close.
+    for index, result in stream_analyses(
+        [(spec.program, job_config) for spec, job_config in jobs],
+        executor=executor,
+        store=store,
+    ):
+        yield KernelAnalysis(spec=jobs[index][0], result=result)
+
+
 def analyze_suite(
     names: Iterable[str] | None = None,
     config: AnalysisConfig | None = None,
@@ -84,47 +145,21 @@ def analyze_suite(
 ) -> list[KernelAnalysis]:
     """Run the derivation over the whole suite (or a subset).
 
-    Kernels sharing an analysis configuration are batched through
-    :meth:`Analyzer.analyze_many`, and every batch shares **one** task
-    executor: with ``n_jobs > 1`` (given here or on ``config``) and/or an
-    ``executor`` (a name or a live :class:`~repro.analysis.Executor`), all
+    The request-order collector over :func:`analyze_suite_stream`: all
     kernels' derivation tasks flow through a single work queue of threads or
-    worker processes.  Passing a :class:`~repro.analysis.BoundStore` (or
-    setting ``config.cache_dir``) memoises every derivation persistently —
-    a warm second suite run does zero derivations.
+    worker processes — with ``n_jobs > 1`` (given here or on ``config``)
+    and/or an ``executor`` (a name or a live
+    :class:`~repro.analysis.Executor`) — and the collected list follows the
+    requested kernel order.  Passing a :class:`~repro.analysis.BoundStore`
+    (or setting ``config.cache_dir``) memoises every derivation persistently
+    — a warm second suite run does zero derivations.
     """
     specs = all_kernels() if names is None else [get_kernel(n) for n in names]
-    by_signature: dict[tuple, tuple[AnalysisConfig, list[KernelSpec]]] = {}
-    for spec in specs:
-        kernel_config = _kernel_config(spec, config, **kwargs)
-        if n_jobs is not None:
-            kernel_config = kernel_config.replace(n_jobs=n_jobs)
-        if executor is not None and isinstance(executor, str):
-            kernel_config = kernel_config.replace(executor=executor)
-        key = kernel_config.signature()
-        by_signature.setdefault(key, (kernel_config, []))[1].append(spec)
-
-    # One executor for the whole suite: per-max_depth config groups would
-    # otherwise each spin up (and tear down) their own worker pool.
-    groups = list(by_signature.values())
-    shared = executor
-    owns_executor = False
-    if groups and (shared is None or isinstance(shared, str)):
-        first_config = groups[0][0]
-        name = shared if isinstance(shared, str) else first_config.executor
-        shared = resolve_executor(name, first_config.n_jobs)
-        owns_executor = True
     analyses: dict[str, KernelAnalysis] = {}
-    try:
-        for kernel_config, group in groups:
-            results = Analyzer(kernel_config, store=store).analyze_many(
-                [s.program for s in group], executor=shared
-            )
-            for spec, result in zip(group, results):
-                analyses[spec.name] = KernelAnalysis(spec=spec, result=result)
-    finally:
-        if owns_executor and shared is not None:
-            shared.close()
+    for analysis in analyze_suite_stream(
+        names, config=config, n_jobs=n_jobs, store=store, executor=executor, **kwargs
+    ):
+        analyses[analysis.spec.name] = analysis
     return [analyses[spec.name] for spec in specs]
 
 

@@ -1,0 +1,297 @@
+"""JSON-lines analysis service: the long-lived front-end over the scheduler.
+
+``python -m repro serve`` turns the analyzer into a service: it reads one
+JSON **request** per line (stdin by default, or each TCP connection with
+``--port``) and streams back one JSON **event** per line as the event-driven
+scheduler (:mod:`repro.analysis.scheduler`) lands each kernel's bound — the
+first result of a 30-kernel request arrives while the other 29 are still
+deriving, and a warm request (result already in the
+:class:`~repro.analysis.store.BoundStore`) turns around in well under a
+millisecond of analysis work.
+
+Request (one JSON object per line)::
+
+    {"id": 7, "kernels": ["gemm", "atax"], "config": {"max_depth": 1}}
+
+* ``id`` — opaque; echoed verbatim on every event of the request (``null``
+  when omitted), so clients can multiplex.
+* ``kernels`` — registered PolyBench kernel names (see
+  ``python -m repro kernels --json``); omitted or ``null`` means the whole
+  suite.
+* ``config`` — optional :class:`~repro.analysis.AnalysisConfig` field
+  overrides, applied on top of each kernel's registered defaults (the CLI
+  ``suite`` flags).  ``executor``/``n_jobs`` here override the server's own
+  defaults for this request (such a request runs on its own pool; all other
+  requests share the server's).  ``cache_dir`` is rejected: the bound store
+  is server-side state (``--cache-dir``/``--no-cache`` on ``serve``).
+
+Events (streamed, in completion order)::
+
+    {"id": 7, "event": "result", "kernel": "gemm", "elapsed_ms": 0.4,
+     "result": { ... IOBoundResult.to_dict() ... }}
+    {"id": 7, "event": "done", "results": 2, "derivations": 0,
+     "elapsed_ms": 0.9}
+
+The ``result`` payload is byte-compatible with the entries of the
+``suite --json`` document (:mod:`repro.analysis.serialization`): collecting
+the ``result`` events of a request and wrapping them with
+``results_to_document`` reproduces that interchange format exactly, and
+``IOBoundResult.from_dict`` reloads each one.  A malformed line, unknown
+kernel or invalid config yields one terminal ``error`` event instead::
+
+    {"id": null, "event": "error", "error": "..."}
+
+Requests in one stream are served sequentially (JSON-lines has no framing
+for interleaved responses); concurrency lives *inside* a request, where
+every kernel's tasks share the server's executor pool.  The server holds no
+per-request state beyond the shared bound store, so restarting it is always
+safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socketserver
+import time
+from typing import IO, Any, Iterable, Iterator
+
+from .analysis import (
+    AnalysisConfig,
+    BoundStore,
+    Executor,
+    derivation_count,
+    resolve_executor,
+)
+from .polybench import analyze_suite_stream, kernel_names
+
+#: Version tag of the request/event protocol (bumped on breaking changes;
+#: echoed by the ``hello`` event so clients can refuse a mismatch).
+PROTOCOL_VERSION = 1
+
+#: AnalysisConfig fields a request's ``config`` object may override.
+#: ``cache_dir`` is excluded on purpose: the store is server-side state, and
+#: silently honouring a client-supplied root would either be ignored or
+#: redirect the server's persistence — both surprising.  Requests that need
+#: different storage talk to a differently-configured server.
+_CONFIG_FIELDS = {field.name for field in dataclasses.fields(AnalysisConfig)} - {
+    "cache_dir"
+}
+
+
+class ServiceError(ValueError):
+    """A malformed or unsatisfiable request (reported, never fatal)."""
+
+
+class AnalysisService:
+    """The transport-agnostic request handler behind ``repro serve``.
+
+    One instance serves any number of requests (and, in socket mode, any
+    number of connections, one after the other): it owns the service-level
+    defaults — the shared bound store and the executor settings requests
+    inherit unless their ``config`` overrides them.
+    """
+
+    def __init__(
+        self,
+        store: BoundStore | None = None,
+        executor: "Executor | str | None" = None,
+        n_jobs: int | None = None,
+    ):
+        self.store = store
+        self.executor = executor
+        self.n_jobs = n_jobs
+        # The shared pool behind every request that does not override the
+        # executor settings: resolved lazily on first use, reused across
+        # requests (a per-request pool would pay worker spawn + imports on
+        # every request), closed by close().  A live instance passed in
+        # stays the caller's to close.
+        self._owns_shared = executor is None or isinstance(executor, str)
+        self._shared: Executor | None = None
+
+    def _default_executor(self) -> "Executor | None":
+        if not self._owns_shared:
+            return self.executor  # a live instance the caller owns
+        if self._shared is None:
+            self._shared = resolve_executor(self.executor, self.n_jobs or 1)
+        return self._shared
+
+    def close(self) -> None:
+        """Release the shared executor pool (idempotent)."""
+        if self._owns_shared and self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    def __enter__(self) -> "AnalysisService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request handling -----------------------------------------------------
+
+    def handle_request(self, line: str) -> Iterator[dict[str, Any]]:
+        """Serve one request line, yielding protocol events as they happen."""
+        started = time.perf_counter()
+        request_id: Any = None
+
+        def elapsed_ms() -> float:
+            return round((time.perf_counter() - started) * 1000, 3)
+
+        try:
+            request = self._parse(line)
+            request_id = request.get("id")
+            names, overrides = self._validate(request)
+        except ServiceError as error:
+            yield {"id": request_id, "event": "error", "error": str(error)}
+            return
+
+        # A request overriding executor settings gets its own (request-owned,
+        # scheduler-closed) pool; everything else shares the server's.
+        executor = overrides.pop("executor", None)
+        n_jobs = overrides.pop("n_jobs", None)
+        if executor is not None or n_jobs is not None:
+            if executor is None:
+                # n_jobs alone resizes, it does not change *kind*: inherit
+                # the server's executor choice (its registry name when the
+                # server holds a live instance) rather than falling through
+                # to the process-when-n_jobs>1 auto-selection.
+                if self.executor is None or isinstance(self.executor, str):
+                    executor = self.executor
+                else:
+                    executor = getattr(self.executor, "name", None)
+            request_executor: "Executor | str | None" = executor
+            request_jobs = n_jobs if n_jobs is not None else self.n_jobs
+        else:
+            request_executor = self._default_executor()
+            request_jobs = self.n_jobs
+        derived_before = derivation_count()
+        count = 0
+        try:
+            for analysis in analyze_suite_stream(
+                names,
+                store=self.store,
+                executor=request_executor,
+                n_jobs=request_jobs,
+                **overrides,
+            ):
+                count += 1
+                yield {
+                    "id": request_id,
+                    "event": "result",
+                    "kernel": analysis.spec.name,
+                    "elapsed_ms": elapsed_ms(),
+                    "result": analysis.result.to_dict(),
+                }
+        except (ValueError, KeyError, TypeError) as error:
+            # Config combinations only the derivation itself can reject
+            # (e.g. an unknown strategy name) surface here: report and move
+            # on to the next request rather than killing the server.
+            message = error.args[0] if error.args else str(error)
+            yield {"id": request_id, "event": "error", "error": str(message)}
+            return
+        yield {
+            "id": request_id,
+            "event": "done",
+            "results": count,
+            "derivations": derivation_count() - derived_before,
+            "elapsed_ms": elapsed_ms(),
+        }
+
+    def serve_lines(self, lines: Iterable[str]) -> Iterator[dict[str, Any]]:
+        """Serve a whole stream of request lines (blank lines are ignored)."""
+        yield {
+            "event": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "kernels": len(kernel_names()),
+        }
+        for line in lines:
+            if not line.strip():
+                continue
+            yield from self.handle_request(line)
+
+    def serve_stream(self, in_stream: IO[str], out_stream: IO[str]) -> None:
+        """Pump ``in_stream`` requests into ``out_stream`` events until EOF.
+
+        Every event is written as one line and flushed immediately — the
+        streaming contract: a client piping requests in sees each result
+        the moment its derivation lands, not when the batch ends.
+        """
+        for event in self.serve_lines(in_stream):
+            out_stream.write(json.dumps(event) + "\n")
+            out_stream.flush()
+
+    # -- request parsing ------------------------------------------------------
+
+    def _parse(self, line: str) -> dict[str, Any]:
+        try:
+            request = json.loads(line)
+        except ValueError as error:
+            raise ServiceError(f"request is not valid JSON: {error}") from None
+        if not isinstance(request, dict):
+            raise ServiceError(
+                f"request must be a JSON object, got {type(request).__name__}"
+            )
+        return request
+
+    def _validate(self, request: dict[str, Any]) -> tuple[list[str] | None, dict]:
+        unknown_keys = set(request) - {"id", "kernels", "config"}
+        if unknown_keys:
+            raise ServiceError(f"unknown request keys: {sorted(unknown_keys)}")
+
+        names = request.get("kernels")
+        if names is not None:
+            if not isinstance(names, list) or not all(
+                isinstance(name, str) for name in names
+            ):
+                raise ServiceError('"kernels" must be a list of kernel names')
+            unknown = sorted(set(names) - set(kernel_names()))
+            if unknown:
+                raise ServiceError(
+                    f"unknown kernels: {unknown} (see `python -m repro kernels --json`)"
+                )
+
+        overrides = request.get("config") or {}
+        if not isinstance(overrides, dict):
+            raise ServiceError('"config" must be a JSON object of AnalysisConfig fields')
+        unknown_fields = set(overrides) - _CONFIG_FIELDS
+        if unknown_fields:
+            raise ServiceError(f"unknown config fields: {sorted(unknown_fields)}")
+        if "strategies" in overrides and overrides["strategies"] is not None:
+            overrides["strategies"] = tuple(overrides["strategies"])
+        try:
+            # Validate the override values eagerly (range checks, executor
+            # names, ...) so a bad request fails before any scheduling.
+            AnalysisConfig(**overrides)
+        except (TypeError, ValueError) as error:
+            raise ServiceError(f"invalid config: {error}") from None
+        return names, overrides
+
+
+class _TCPHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: AnalysisService = self.server.service  # type: ignore[attr-defined]
+        reader = (raw.decode("utf-8", errors="replace") for raw in self.rfile)
+        try:
+            for event in service.serve_lines(reader):
+                self.wfile.write((json.dumps(event) + "\n").encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up mid-stream; nothing to clean up
+
+
+class ServiceServer(socketserver.TCPServer):
+    """One-connection-at-a-time TCP front-end around an :class:`AnalysisService`.
+
+    Sequential on purpose: requests inside a connection are already served
+    in order (JSON-lines has no response framing), and the parallelism that
+    matters — every kernel's derivation tasks — lives in the executor pool
+    shared by all requests.  ``allow_reuse_address`` keeps quick restarts
+    from tripping over ``TIME_WAIT``.
+    """
+
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: AnalysisService):
+        super().__init__(address, _TCPHandler)
+        self.service = service

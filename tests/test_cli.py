@@ -1,0 +1,99 @@
+"""CLI surface: machine-readable kernel listing and the streaming suite.
+
+Complements the subprocess smoke tests in CI: these run ``main`` in-process
+and assert the contracts service clients and shell pipelines rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import load_results
+from repro.polybench import all_kernels, kernel_names
+
+
+class TestKernelsJson:
+    def test_document_lists_every_kernel_with_discovery_fields(self, capsys):
+        assert main(["kernels", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == 1
+        entries = document["kernels"]
+        assert [entry["name"] for entry in entries] == kernel_names()
+        for entry, spec in zip(entries, all_kernels()):
+            assert entry["category"] == spec.category
+            assert entry["max_depth"] == spec.max_depth
+            assert entry["parameters"] == list(spec.program.params)
+            assert entry["large_instance"] == dict(spec.large_instance)
+            assert entry["paper_oi_upper"] == spec.paper_oi_upper
+
+    def test_plain_listing_unchanged(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "max_depth=" in out
+
+
+class TestSuiteStreaming:
+    def test_rows_print_before_summary_and_json_is_request_ordered(
+        self, tmp_path, capsys
+    ):
+        json_path = tmp_path / "bounds.json"
+        assert main([
+            "suite", "--kernels", "durbin", "gemm", "--max-depth", "0",
+            "--cache-dir", str(tmp_path / "store"), "--json", str(json_path),
+        ]) == 0
+        lines = capsys.readouterr().out.splitlines()
+
+        header = next(i for i, line in enumerate(lines) if line.startswith("kernel"))
+        summary = next(i for i, line in enumerate(lines) if line.startswith("derivations:"))
+        rows = [line.split()[0] for line in lines[header + 2 : summary]]
+        # Streaming contract: result rows appear (in completion order)
+        # before the end-of-run summary, not after it.
+        assert sorted(rows) == ["durbin", "gemm"]
+
+        results = load_results(json_path)
+        # The persisted document follows the *request* order regardless of
+        # the completion order printed above.
+        assert list(results) == ["durbin", "gemm"]
+
+    def test_duplicate_kernel_requests_keep_the_pre_streaming_shape(
+        self, tmp_path, capsys
+    ):
+        """`--kernels gemm gemm` derives once but reports one result per
+        requested kernel, exactly as the barrier-era CLI did."""
+        json_path = tmp_path / "bounds.json"
+        assert main([
+            "suite", "--kernels", "gemm", "gemm", "--max-depth", "0",
+            "--cache-dir", str(tmp_path / "store"), "--json", str(json_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 2 results" in out
+        assert list(load_results(json_path)) == ["gemm"]  # document keys by name
+
+    def test_warm_run_reports_zero_derivations(self, tmp_path, capsys):
+        args = [
+            "suite", "--kernels", "gemm", "--max-depth", "0",
+            "--cache-dir", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "derivations: 0" in capsys.readouterr().out
+
+
+class TestServeArgs:
+    def test_serve_is_registered_with_defaults(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.port is None
+        assert args.host == "127.0.0.1"
+        assert args.executor is None and args.jobs is None
+
+    def test_serve_rejects_unknown_executor(self):
+        from repro.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor", "fibers"])

@@ -1,0 +1,262 @@
+"""The JSON-lines service front-end: protocol, streaming, warm turnaround.
+
+``repro serve`` wraps the streaming scheduler in a request/event protocol
+whose ``result`` payloads are byte-compatible with the ``suite --json``
+interchange document.  These tests drive the transport-agnostic
+:class:`~repro.service.AnalysisService` directly, plus one real TCP
+round-trip through :class:`~repro.service.ServiceServer`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.analysis import AnalysisConfig, Analyzer, BoundStore
+from repro.analysis.serialization import results_to_document
+from repro.core.bounds import IOBoundResult
+from repro.polybench import get_kernel, kernel_names
+from repro.service import PROTOCOL_VERSION, AnalysisService, ServiceServer
+
+
+def request_line(**fields) -> str:
+    return json.dumps(fields)
+
+
+def events_for(service: AnalysisService, *lines: str) -> list[dict]:
+    return list(service.serve_lines(lines))
+
+
+@pytest.fixture
+def service(tmp_path) -> AnalysisService:
+    return AnalysisService(store=BoundStore(tmp_path / "store"))
+
+
+class TestProtocol:
+    def test_hello_event_opens_every_stream(self, service):
+        (hello,) = events_for(service)
+        assert hello["event"] == "hello"
+        assert hello["protocol"] == PROTOCOL_VERSION
+        assert hello["kernels"] == len(kernel_names())
+
+    def test_request_streams_results_then_done(self, service):
+        events = events_for(
+            service,
+            request_line(id=7, kernels=["gemm", "atax"], config={"max_depth": 0}),
+        )
+        kinds = [event["event"] for event in events]
+        assert kinds == ["hello", "result", "result", "done"]
+        for event in events[1:]:
+            assert event["id"] == 7
+        assert {event["kernel"] for event in events[1:3]} == {"gemm", "atax"}
+        done = events[-1]
+        assert done["results"] == 2
+        assert done["derivations"] == 2
+        assert done["elapsed_ms"] >= 0
+
+    def test_result_payload_matches_suite_document_format(self, service):
+        events = events_for(
+            service, request_line(kernels=["gemm"], config={"max_depth": 0})
+        )
+        payload = events[1]["result"]
+        # The event payload is exactly a suite-document entry: from_dict
+        # reloads it, and wrapping it reproduces the interchange document.
+        restored = IOBoundResult.from_dict(payload)
+        expected = Analyzer(AnalysisConfig(max_depth=0)).analyze(
+            get_kernel("gemm").program
+        )
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            expected.to_dict(), sort_keys=True
+        )
+        document = results_to_document([restored])
+        assert document["results"]["gemm"] == payload
+
+    def test_blank_lines_are_ignored(self, service):
+        events = events_for(service, "", "   \n")
+        assert [event["event"] for event in events] == ["hello"]
+
+    def test_warm_request_serves_from_store_with_zero_derivations(self, service):
+        first = events_for(service, request_line(kernels=["gemm"], config={"max_depth": 0}))
+        again = events_for(service, request_line(kernels=["gemm"], config={"max_depth": 0}))
+        assert first[-1]["derivations"] == 1
+        assert again[-1]["derivations"] == 0
+        assert json.dumps(again[1]["result"], sort_keys=True) == json.dumps(
+            first[1]["result"], sort_keys=True
+        )
+
+    def test_sequential_requests_multiplex_by_id(self, service):
+        events = events_for(
+            service,
+            request_line(id="a", kernels=["gemm"], config={"max_depth": 0}),
+            request_line(id="b", kernels=["atax"], config={"max_depth": 0}),
+        )
+        by_id = {}
+        for event in events[1:]:
+            by_id.setdefault(event["id"], []).append(event["event"])
+        assert by_id == {"a": ["result", "done"], "b": ["result", "done"]}
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line, fragment",
+        [
+            ("{not json", "not valid JSON"),
+            ("[1, 2]", "must be a JSON object"),
+            (request_line(kernels=["nope"]), "unknown kernels"),
+            (request_line(kernels="gemm"), "list of kernel names"),
+            (request_line(bogus=1), "unknown request keys"),
+            (request_line(kernels=["gemm"], config={"bogus": 1}), "unknown config fields"),
+            # cache_dir is server-side state, not a per-request knob.
+            (
+                request_line(kernels=["gemm"], config={"cache_dir": "/tmp/x"}),
+                "unknown config fields",
+            ),
+            (request_line(kernels=["gemm"], config=[1]), "must be a JSON object"),
+            (request_line(kernels=["gemm"], config={"gamma": 7}), "invalid config"),
+            (
+                request_line(kernels=["gemm"], config={"executor": "fibers"}),
+                "invalid config",
+            ),
+        ],
+    )
+    def test_bad_requests_yield_one_error_event(self, service, line, fragment):
+        events = events_for(service, line)
+        assert [event["event"] for event in events] == ["hello", "error"]
+        assert fragment in events[1]["error"]
+
+    def test_error_echoes_request_id_when_parseable(self, service):
+        events = events_for(service, request_line(id=42, kernels=["nope"]))
+        assert events[1]["id"] == 42
+
+    def test_server_survives_errors_between_requests(self, service):
+        events = events_for(
+            service,
+            request_line(kernels=["nope"]),
+            request_line(kernels=["gemm"], config={"max_depth": 0}),
+        )
+        assert [event["event"] for event in events] == [
+            "hello", "error", "result", "done",
+        ]
+
+
+class TestExecutorSharing:
+    def test_shared_pool_is_reused_across_requests_and_closed_once(self, tmp_path):
+        """Requests that do not override executor settings share one server
+        pool — no per-request pool spawn — and close() releases it."""
+        service = AnalysisService(
+            store=BoundStore(tmp_path / "store"), executor="thread", n_jobs=2
+        )
+        events_for(service, request_line(kernels=["gemm"], config={"max_depth": 0}))
+        shared = service._default_executor()
+        assert shared is not None and shared.name == "thread"
+        events_for(service, request_line(kernels=["atax"], config={"max_depth": 0}))
+        assert service._default_executor() is shared, "pool must be reused"
+        service.close()
+        assert service._shared is None
+        service.close()  # idempotent
+
+    def test_request_executor_override_does_not_touch_shared_pool(self, tmp_path):
+        service = AnalysisService(
+            store=BoundStore(tmp_path / "store"), executor="thread", n_jobs=2
+        )
+        events = events_for(
+            service,
+            request_line(kernels=["gemm"], config={"max_depth": 0, "executor": "serial"}),
+        )
+        assert [event["event"] for event in events] == ["hello", "result", "done"]
+        assert service._shared is None, (
+            "an overriding request must not instantiate the shared pool"
+        )
+        service.close()
+
+    def test_n_jobs_override_inherits_server_executor_kind(self, tmp_path, monkeypatch):
+        """A request overriding only n_jobs resizes the pool but keeps the
+        server's executor choice — it must not fall through to the
+        process-when-n_jobs>1 auto-selection."""
+        from repro.analysis import executor as executor_module
+
+        resolved = []
+        original = executor_module.resolve_executor
+
+        def spying_resolve(executor=None, n_jobs=1):
+            instance = original(executor, n_jobs)
+            resolved.append(type(instance).__name__)
+            return instance
+
+        monkeypatch.setattr(
+            "repro.analysis.scheduler.resolve_executor", spying_resolve
+        )
+        service = AnalysisService(
+            store=BoundStore(tmp_path / "store"), executor="thread"
+        )
+        events = events_for(
+            service, request_line(kernels=["gemm"], config={"max_depth": 0, "n_jobs": 2})
+        )
+        assert [event["event"] for event in events] == ["hello", "result", "done"]
+        assert resolved == ["ThreadExecutor"]
+        service.close()
+
+    def test_live_executor_instance_stays_callers(self, tmp_path):
+        from repro.analysis import ThreadExecutor
+
+        executor = ThreadExecutor(n_jobs=2)
+        try:
+            service = AnalysisService(
+                store=BoundStore(tmp_path / "store"), executor=executor
+            )
+            events_for(service, request_line(kernels=["gemm"], config={"max_depth": 0}))
+            service.close()  # must NOT close the caller's executor
+            assert list(executor.map(lambda x: x + 1, [1, 2])) is not None
+        finally:
+            executor.close()
+
+
+class TestStreamingOrder:
+    def test_small_kernel_streams_before_big_one_lands(self, tmp_path):
+        """Within one request, results arrive in completion order: the
+        single-task kernel's event precedes the many-task kernel's even
+        though the request listed the big one first."""
+        service = AnalysisService(store=BoundStore(tmp_path / "store"))
+        events = events_for(service, request_line(kernels=["durbin", "gemm"]))
+        result_order = [event["kernel"] for event in events if event["event"] == "result"]
+        assert result_order == ["gemm", "durbin"]
+
+
+class TestTCP:
+    def test_round_trip_over_a_real_socket(self, tmp_path):
+        service = AnalysisService(store=BoundStore(tmp_path / "store"))
+        with ServiceServer(("127.0.0.1", 0), service) as server:
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = server.server_address[:2]
+                with socket.create_connection((host, port), timeout=30) as conn:
+                    conn.sendall(
+                        (request_line(id=1, kernels=["gemm"], config={"max_depth": 0}) + "\n").encode()
+                    )
+                    conn.shutdown(socket.SHUT_WR)
+                    stream = conn.makefile("r", encoding="utf-8")
+                    events = [json.loads(line) for line in stream]
+            finally:
+                server.shutdown()
+                thread.join(timeout=10)
+        assert [event["event"] for event in events] == ["hello", "result", "done"]
+        assert events[1]["kernel"] == "gemm"
+
+
+class TestServeStream:
+    def test_serve_stream_writes_one_json_line_per_event(self, service):
+        import io
+
+        out = io.StringIO()
+        source = io.StringIO(request_line(kernels=["gemm"], config={"max_depth": 0}) + "\n")
+        service.serve_stream(source, out)
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(line)["event"] for line in lines] == [
+            "hello", "result", "done",
+        ]
