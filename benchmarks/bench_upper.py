@@ -1,0 +1,89 @@
+"""Benchmark the tiling-search upper-bound engine: cold vs. warm searches.
+
+The upper-bound half of the tightness sandwich simulates every candidate
+tiling through the cache model — by far the most expensive per-kernel work
+in the report.  The store memoises each (program, instance, S, tile, policy)
+simulation, so a warm search must perform **zero** simulations and come back
+much faster than the cold pass that populated the store.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import BoundStore
+from repro.polybench import get_kernel
+from repro.upper import (
+    reset_simulation_count,
+    search_upper_bound,
+    simulation_count,
+)
+
+from conftest import write_markdown_table
+
+GEMM_INSTANCE = {"Ni": 8, "Nj": 8, "Nk": 8}
+CACHE_WORDS = 32
+
+
+@pytest.mark.benchmark(group="upper")
+def test_warm_search_performs_zero_simulations(benchmark, tmp_path):
+    """Warm tiling search: zero simulations, identical result, much faster."""
+    spec = get_kernel("gemm")
+    store = BoundStore(tmp_path / "store")
+
+    reset_simulation_count()
+    cold_start = time.perf_counter()
+    cold = search_upper_bound(
+        spec.program, GEMM_INSTANCE, cache_words=CACHE_WORDS, store=store
+    )
+    cold_elapsed = time.perf_counter() - cold_start
+    cold_simulations = simulation_count()
+    assert cold_simulations == len(cold.simulations) > 0
+
+    reset_simulation_count()
+    warm_start = time.perf_counter()
+    warm = benchmark.pedantic(
+        search_upper_bound,
+        args=(spec.program, GEMM_INSTANCE),
+        kwargs={"cache_words": CACHE_WORDS, "store": store},
+        rounds=1, iterations=1,
+    )
+    warm_elapsed = time.perf_counter() - warm_start
+
+    assert simulation_count() == 0, "warm search must not simulate anything"
+    assert warm.to_dict() == cold.to_dict()
+    assert warm.best is not None
+
+    write_markdown_table("upper_cold_vs_warm", [{
+        "kernel": "gemm",
+        "instance": "x".join(str(v) for v in GEMM_INSTANCE.values()),
+        "cache words": CACHE_WORDS,
+        "candidates": cold.candidates,
+        "simulations (cold)": cold_simulations,
+        "best tile": "x".join(str(e) for e in cold.best.shape),
+        "best loads": cold.best.loads,
+        "cold (s)": round(cold_elapsed, 3),
+        "warm (s)": round(warm_elapsed, 3),
+        "speedup": round(cold_elapsed / max(warm_elapsed, 1e-9), 1),
+    }])
+
+
+@pytest.mark.benchmark(group="upper-ops")
+def test_single_tiling_simulation_latency(benchmark):
+    """Latency of one candidate evaluation (schedule build + LRU simulation)."""
+    from repro.upper.search import _simulate_payload
+
+    spec = get_kernel("gemm")
+    payload = (
+        spec.program,
+        tuple(sorted(GEMM_INSTANCE.items())),
+        CACHE_WORDS,
+        (4, 4, 1),
+        "lru",
+        None,
+    )
+    result = benchmark(_simulate_payload, payload)
+    assert result.simulated
+    assert result.loads > 0

@@ -9,6 +9,10 @@ This is a miniature version of the paper's Sec. 8.2 experiment: for gemm we
    through an LRU cache of S words, and
 4. check that both schedules move at least Q_low words, and that tiling gets
    much closer to the bound — the gap the paper's tool is designed to expose.
+
+The full automated version of this experiment — a tiling *search* over every
+kernel with the result paired against the lower bound — is
+``python -m repro report`` (see :mod:`repro.upper`).
 """
 
 from repro.analysis import AnalysisConfig, Analyzer
@@ -28,19 +32,24 @@ def main():
     print(f"\nCDAG for {instance}: {len(cdag.compute_vertices())} operations, "
           f"{len(cdag.inputs)} inputs, cache = {cache_words} words\n")
 
+    # Per-operation flop count from the kernel registry (gemm's update
+    # statement is one multiply + one add), not a hardcoded 2.
+    (statement,) = spec.program.statements.values()
+    flops_per_op = statement.flops
+
     bound = result.evaluate({**instance, "S": cache_words})
     print(f"{'schedule':<22} {'loads':>8} {'OI (flops/word)':>16}")
     print("-" * 50)
 
     untiled = simulate_schedule(cdag, lexicographic_schedule(cdag), cache_words, policy="lru")
     print(f"{'untiled (ijk order)':<22} {untiled.loads:>8} "
-          f"{2 * untiled.operations / untiled.loads:>16.2f}")
+          f"{untiled.operational_intensity(flops_per_op):>16.2f}")
 
     for tile in (2, 4, 8):
         schedule = tiled_schedule(cdag, {"S": (tile, tile, 16)})
         tiled = simulate_schedule(cdag, schedule, cache_words, policy="lru")
         print(f"{f'tiled {tile}x{tile}x16':<22} {tiled.loads:>8} "
-              f"{2 * tiled.operations / tiled.loads:>16.2f}")
+              f"{tiled.operational_intensity(flops_per_op):>16.2f}")
 
     print("-" * 50)
     print(f"{'IOLB lower bound':<22} {max(bound, 0):>8.0f}")

@@ -18,7 +18,7 @@ The legacy free function ``repro.derive_bounds`` is kept as a thin wrapper
 over the analyzer.
 """
 
-from . import analysis, core, ir, linalg, pebble, polybench, rel, sets
+from . import analysis, core, ir, linalg, pebble, polybench, rel, sets, upper
 from .analysis import AnalysisConfig, Analyzer
 from .core import derive_bounds
 from .ir import AffineProgram, ProgramBuilder
@@ -37,6 +37,7 @@ __all__ = [
     "polybench",
     "rel",
     "sets",
+    "upper",
 ]
 
-__version__ = "1.3.0"
+__version__ = "1.6.0"

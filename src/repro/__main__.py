@@ -17,6 +17,14 @@ Subcommands
     document is written in request order and is byte-identical across
     executors and schedulers.
 
+``report [kernels...] [--cache-words S] [--json]``
+    The tightness sandwich (Sec. 8.2 / Table 2): derive each kernel's
+    parametric lower bound, run the tiling search of :mod:`repro.upper` on a
+    small instance to obtain the best *simulated* upper bound (a legal
+    red-white pebble game), and print both with the winning tile shape and
+    the tightness ratio ``Q_up / Q_low``.  Both sides memoise through the
+    shared store, so a warm rerun performs 0 derivations and 0 simulations.
+
 ``serve [--port N]``
     Long-lived JSON-lines analysis service (see :mod:`repro.service`):
     requests in, streamed results out, over stdin/stdout or TCP.
@@ -61,6 +69,7 @@ from .analysis import (
 from .analysis.executor import EXECUTOR_NAMES
 from .core.wavefront import VALIDATION_MODES
 from .polybench import all_kernels, analyze_suite_stream, get_kernel, kernel_names
+from .upper import tightness_report
 
 
 def _parse_instance(pairs: Sequence[str]) -> dict[str, int] | None:
@@ -238,6 +247,42 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    names = args.kernels if args.kernels else kernel_names()
+    unknown = sorted(set(names) - set(kernel_names()))
+    if unknown:
+        raise SystemExit(f"unknown kernels: {unknown}; see `python -m repro kernels`")
+
+    store = _store_for(args)
+    report = tightness_report(
+        names,
+        cache_words=args.cache_words,
+        instance=_parse_instance(args.instance),
+        store=store,
+        executor=args.executor,
+        n_jobs=args.jobs,
+        max_candidates=args.max_candidates,
+        target=args.instance_target,
+    )
+
+    if args.json:
+        # Pure JSON on stdout: the document embeds the work counters
+        # (derivations/simulations), so CI warm-rerun checks parse stdout only.
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+
+    print(report.format_table())
+    print()
+    summary = (
+        f"cache words: {report.cache_words}; "
+        f"derivations: {report.derivations}, simulations: {report.simulations}"
+    )
+    if store is not None:
+        summary += f" (store hits: {store.hits}, root: {store.root})"
+    print(summary)
+    return 0
+
+
 def _cmd_kernels(args: argparse.Namespace) -> int:
     if getattr(args, "json", False):
         # The machine-readable registry: what a `repro serve` client needs to
@@ -370,6 +415,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write all results as one JSON document")
     _add_config_arguments(suite)
     suite.set_defaults(handler=_cmd_suite)
+
+    report = commands.add_parser(
+        "report",
+        help="tightness report: lower bound vs. best simulated upper bound",
+    )
+    report.add_argument(
+        "kernels", nargs="*", metavar="KERNEL",
+        help="kernels to report on (default: the whole suite)",
+    )
+    report.add_argument(
+        "--cache-words", type=int, default=64, metavar="S",
+        help="fast-memory capacity in words for both sides of the sandwich "
+             "(default: 64)",
+    )
+    report.add_argument(
+        "--instance", nargs="*", default=(), metavar="NAME=VALUE",
+        help="simulation instance overrides (applied where the parameter exists)",
+    )
+    report.add_argument(
+        "--instance-target", type=int, default=12, metavar="N",
+        help="edge length LARGE instances are shrunk to before CDAG "
+             "expansion (default: 12)",
+    )
+    report.add_argument(
+        "--max-candidates", type=int, default=64, metavar="N",
+        help="tile shapes per kernel in the powers-of-two search wave "
+             "(default: 64)",
+    )
+    report.add_argument("--json", action="store_true",
+                        help="emit the report as a JSON document on stdout")
+    report.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help="executor for derivations and simulations (default: serial; "
+             "unset consults $REPRO_EXECUTOR)",
+    )
+    report.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="parallel workers for the executor")
+    report.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="bound store root (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    report.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent bound store for this run",
+    )
+    report.set_defaults(handler=_cmd_report)
 
     kernels = commands.add_parser("kernels", help="list registered kernels")
     kernels.add_argument(

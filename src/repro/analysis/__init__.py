@@ -56,7 +56,7 @@ from .analyzer import (
     stream_analyses,
     task_derivation_count,
 )
-from .scheduler import schedule_plans
+from .scheduler import WorkItem, schedule_plans, schedule_work
 from .config import (
     DEFAULT_CACHE_SIZE,
     DEFAULT_GAMMA,
@@ -133,6 +133,7 @@ __all__ = [
     "TaskResult",
     "ThreadExecutor",
     "WavefrontStrategy",
+    "WorkItem",
     "available_strategies",
     "combine_plan",
     "default_store_root",
@@ -156,6 +157,7 @@ __all__ = [
     "run_analysis",
     "save_results",
     "schedule_plans",
+    "schedule_work",
     "stream_analyses",
     "task_derivation_count",
     "unregister_strategy",

@@ -44,6 +44,13 @@ On any failure — a task raising, or the consumer abandoning the stream —
 not-yet-started futures are cancelled and owned executors are closed
 (:meth:`~repro.analysis.executor._PoolExecutor.close` also cancels anything
 still queued in the pool), so a Ctrl-C'd run leaves no orphan workers.
+
+The event loop itself is generic: :func:`schedule_work` schedules groups of
+:class:`WorkItem`\\ s — any picklable payload plus an optional store key —
+and :func:`schedule_plans` is its derivation adapter.  The tiling search of
+:mod:`repro.upper.search` reuses the same engine for cache simulations, so
+upper-bound searches parallelise, memoise and resume exactly like
+derivations do.
 """
 
 from __future__ import annotations
@@ -135,7 +142,181 @@ def _execute_payload(payload: tuple) -> TaskResult:
     return run_strategy_task(strategy, dfg, config, instance, task)
 
 
-# -- the scheduler ------------------------------------------------------------
+# -- the generic work scheduler -----------------------------------------------
+
+
+class WorkItem:
+    """One schedulable unit of work inside a :func:`schedule_work` group.
+
+    ``payload`` is what the executor's ``run`` callable receives (it must be
+    picklable for process pools); ``key`` is the optional store key under
+    which the item's result is memoised; ``context`` rides along for the
+    ``decode``/``encode`` hooks (e.g. the :class:`DerivationTask` a payload
+    was built from), never crossing a process boundary.
+    """
+
+    __slots__ = ("payload", "key", "context")
+
+    def __init__(self, payload: object, key: str | None = None, context: object = None):
+        self.payload = payload
+        self.key = key
+        self.context = context
+
+
+def schedule_work(
+    groups: Sequence[Sequence[WorkItem]],
+    run,
+    executor: "Executor | str | None" = None,
+    n_jobs: int = 1,
+    store_get=None,
+    store_put=None,
+    decode=None,
+    encode=None,
+    on_executed=None,
+) -> Iterator[tuple[int, list]]:
+    """Stream ``(group_index, results)`` pairs in group-completion order.
+
+    The generic engine behind :func:`schedule_plans` (and the tiling search
+    in :mod:`repro.upper.search`): every group's items enter one ready
+    queue, workers pull items from the group with fewest unfinished items
+    first (ties by group position, then item order), and a group is yielded
+    the moment its last item lands with its results listed **in item
+    order** — byte-deterministic on every executor and scheduling.
+
+    Memoisation hooks: an item with a ``key`` is looked up via
+    ``store_get(key)`` during enqueue (a hit is passed through
+    ``decode(item, payload)``; decode raising ``KeyError``/``ValueError``/
+    ``TypeError`` counts as a miss and the item re-executes), groups fully
+    satisfied by the store are yielded first by ascending index without
+    executing anything, and freshly executed results are persisted one by
+    one via ``store_put(key, encode(item, result))``.  ``on_executed()``
+    fires once per actually-executed item, on the requester side, so
+    counters mean the same thing on every executor.
+
+    An ``executor`` given by name (or ``None``, resolved with ``n_jobs``)
+    is owned by the scheduler and closed when the stream ends, errors, or
+    is abandoned; a live instance stays the caller's to close.
+    """
+    material = [list(group) for group in groups]
+    if not material:
+        return
+    owns_executor = executor is None or isinstance(executor, str)
+    resolved = resolve_executor(executor, n_jobs) if owns_executor else executor
+    try:
+        yield from _run_event_loop(
+            material, run, resolved, store_get, store_put, decode, encode, on_executed
+        )
+    finally:
+        if owns_executor:
+            resolved.close()
+
+
+def _run_event_loop(
+    groups: list[list[WorkItem]],
+    run,
+    executor: Executor,
+    store_get,
+    store_put,
+    decode,
+    encode,
+    on_executed,
+) -> Iterator[tuple[int, list]]:
+    results: list[list] = [[None] * len(group) for group in groups]
+    #: Per-group queues of not-yet-submitted item indices, in item order.
+    pending: dict[int, list[int]] = {}
+    #: Unfinished (queued or in-flight) item count per group — the priority.
+    remaining = [0] * len(groups)
+
+    for group_index, group in enumerate(groups):
+        todo: list[int] = []
+        for item_index, item in enumerate(group):
+            if store_get is not None and item.key is not None:
+                payload = store_get(item.key)
+                if payload is not None:
+                    try:
+                        results[group_index][item_index] = (
+                            decode(item, payload) if decode is not None else payload
+                        )
+                        continue
+                    except (KeyError, ValueError, TypeError):
+                        pass  # unreadable entry: fall through and re-execute
+            todo.append(item_index)
+        remaining[group_index] = len(todo)
+        if todo:
+            pending[group_index] = todo
+
+    # Warm (or item-less) groups stream out before anything executes.
+    for group_index in range(len(groups)):
+        if remaining[group_index] == 0:
+            yield group_index, list(results[group_index])
+    if not pending:
+        return
+
+    def pick() -> tuple[int, int]:
+        """Next item: from the group with fewest unfinished items."""
+        group_index = min(pending, key=lambda index: (remaining[index], index))
+        queue = pending[group_index]
+        item_index = queue.pop(0)
+        if not queue:
+            del pending[group_index]
+        return group_index, item_index
+
+    def complete(group_index: int, item_index: int, result) -> bool:
+        """Record a landed item; True when it was its group's last one."""
+        results[group_index][item_index] = result
+        if on_executed is not None:
+            on_executed()
+        item = groups[group_index][item_index]
+        if store_put is not None and item.key is not None:
+            # Persist immediately: completion order does not matter for
+            # correctness, and a crash loses only in-flight items.
+            store_put(item.key, encode(item, result) if encode is not None else result)
+        remaining[group_index] -= 1
+        return remaining[group_index] == 0
+
+    submit = getattr(executor, "submit", None)
+    if submit is None:
+        # Map-only executor (serial, or a third-party plug-in): commit the
+        # whole queue up front in priority order and stream its completions.
+        order: list[tuple[int, int]] = []
+        while pending:
+            order.append(pick())
+        payloads = [groups[g][i].payload for g, i in order]
+        for index, result in executor.map(run, payloads):
+            group_index, item_index = order[index]
+            if complete(group_index, item_index, result):
+                yield group_index, list(results[group_index])
+        return
+
+    # True event loop: keep at most n_jobs tasks in flight, refilling in
+    # (dynamic) priority order as completions arrive.
+    max_in_flight = max(1, int(getattr(executor, "n_jobs", 1)))
+    in_flight: dict[concurrent.futures.Future, tuple[int, int]] = {}
+    try:
+        while pending or in_flight:
+            while pending and len(in_flight) < max_in_flight:
+                group_index, item_index = pick()
+                future = submit(run, groups[group_index][item_index].payload)
+                in_flight[future] = (group_index, item_index)
+            done, _ = concurrent.futures.wait(
+                in_flight, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            # A wave of simultaneous completions is processed in item-
+            # coordinate order so group-completion order stays reproducible.
+            for future in sorted(done, key=lambda item: in_flight[item]):
+                group_index, item_index = in_flight.pop(future)
+                if complete(group_index, item_index, future.result()):
+                    yield group_index, list(results[group_index])
+    except BaseException:
+        # A failing item (or an abandoned consumer) must not strand queued
+        # work: cancel whatever has not started.  Running tasks finish in
+        # the pool; the owning close() below reaps the workers themselves.
+        for future in in_flight:
+            future.cancel()
+        raise
+
+
+# -- the derivation adapter ---------------------------------------------------
 
 
 def schedule_plans(
@@ -155,6 +336,11 @@ def schedule_plans(
     plan's config) is owned by the scheduler and closed — cancelling
     anything still queued — when the stream ends, errors, or is abandoned;
     a live instance stays the caller's to close.
+
+    Implemented as an adapter over the generic :func:`schedule_work` engine:
+    one :class:`WorkItem` per :class:`DerivationTask`, memoised through the
+    store's ``kind="task"`` entries and counted by
+    :func:`task_derivation_count`.
     """
     if not plans:
         return
@@ -163,114 +349,28 @@ def schedule_plans(
         executor if executor is not None else plans[0].config.executor,
         plans[0].config.n_jobs,
     )
+    groups = [
+        [
+            WorkItem(
+                payload=(plan.program, plan.config, task, plan.fingerprint),
+                key=plan.task_key(task) if store is not None else None,
+                context=task,
+            )
+            for task in plan.tasks
+        ]
+        for plan in plans
+    ]
     try:
-        yield from _run_event_loop(plans, resolved, store)
+        yield from schedule_work(
+            groups,
+            _execute_payload,
+            executor=resolved,
+            store_get=store.get_task if store is not None else None,
+            store_put=store.put_task if store is not None else None,
+            decode=lambda item, payload: TaskResult.from_dict(payload, task=item.context),
+            encode=lambda item, task_result: task_result.to_dict(),
+            on_executed=lambda: _count_task_derivations(1),
+        )
     finally:
         if owns_executor:
             resolved.close()
-
-
-def _run_event_loop(
-    plans: Sequence[DerivationPlan],
-    executor: Executor,
-    store: BoundStore | None,
-) -> Iterator[tuple[int, list[TaskResult]]]:
-    results: list[list[TaskResult | None]] = [[None] * len(plan.tasks) for plan in plans]
-    #: Per-plan queues of not-yet-submitted task indices, in plan order.
-    pending: dict[int, list[int]] = {}
-    #: Unfinished (queued or in-flight) task count per plan — the priority.
-    remaining = [0] * len(plans)
-    keys: dict[tuple[int, int], str] = {}
-
-    for plan_index, plan in enumerate(plans):
-        todo: list[int] = []
-        for task_index, task in enumerate(plan.tasks):
-            if store is not None:
-                key = plan.task_key(task)
-                keys[(plan_index, task_index)] = key
-                payload = store.get_task(key)
-                if payload is not None:
-                    try:
-                        results[plan_index][task_index] = TaskResult.from_dict(
-                            payload, task=task
-                        )
-                        continue
-                    except (KeyError, ValueError, TypeError):
-                        pass  # unreadable entry: fall through and re-derive
-            todo.append(task_index)
-        remaining[plan_index] = len(todo)
-        if todo:
-            pending[plan_index] = todo
-
-    # Warm (or task-less) plans stream out before anything executes.
-    for plan_index in range(len(plans)):
-        if remaining[plan_index] == 0:
-            yield plan_index, list(results[plan_index])  # type: ignore[arg-type]
-    if not pending:
-        return
-
-    def payload_for(plan_index: int, task_index: int) -> tuple:
-        plan = plans[plan_index]
-        return (plan.program, plan.config, plan.tasks[task_index], plan.fingerprint)
-
-    def pick() -> tuple[int, int]:
-        """Next task: from the program with fewest unfinished tasks."""
-        plan_index = min(pending, key=lambda index: (remaining[index], index))
-        queue = pending[plan_index]
-        task_index = queue.pop(0)
-        if not queue:
-            del pending[plan_index]
-        return plan_index, task_index
-
-    def complete(plan_index: int, task_index: int, task_result: TaskResult) -> bool:
-        """Record a landed task; True when it was its plan's last one."""
-        results[plan_index][task_index] = task_result
-        _count_task_derivations(1)
-        if store is not None:
-            # Persist immediately: completion order does not matter for
-            # correctness, and a crash loses only in-flight tasks.  The
-            # enqueue loop keyed every task when a store is present.
-            store.put_task(keys[(plan_index, task_index)], task_result.to_dict())
-        remaining[plan_index] -= 1
-        return remaining[plan_index] == 0
-
-    submit = getattr(executor, "submit", None)
-    if submit is None:
-        # Map-only executor (serial, or a third-party plug-in): commit the
-        # whole queue up front in priority order and stream its completions.
-        order: list[tuple[int, int]] = []
-        while pending:
-            order.append(pick())
-        payloads = [payload_for(*coords) for coords in order]
-        for index, task_result in executor.map(_execute_payload, payloads):
-            plan_index, task_index = order[index]
-            if complete(plan_index, task_index, task_result):
-                yield plan_index, list(results[plan_index])  # type: ignore[arg-type]
-        return
-
-    # True event loop: keep at most n_jobs tasks in flight, refilling in
-    # (dynamic) priority order as completions arrive.
-    max_in_flight = max(1, int(getattr(executor, "n_jobs", 1)))
-    in_flight: dict[concurrent.futures.Future, tuple[int, int]] = {}
-    try:
-        while pending or in_flight:
-            while pending and len(in_flight) < max_in_flight:
-                plan_index, task_index = pick()
-                future = submit(_execute_payload, payload_for(plan_index, task_index))
-                in_flight[future] = (plan_index, task_index)
-            done, _ = concurrent.futures.wait(
-                in_flight, return_when=concurrent.futures.FIRST_COMPLETED
-            )
-            # A wave of simultaneous completions is processed in task-
-            # coordinate order so plan-completion order stays reproducible.
-            for future in sorted(done, key=lambda item: in_flight[item]):
-                plan_index, task_index = in_flight.pop(future)
-                if complete(plan_index, task_index, future.result()):
-                    yield plan_index, list(results[plan_index])  # type: ignore[arg-type]
-    except BaseException:
-        # A failing task (or an abandoned consumer) must not strand queued
-        # work: cancel whatever has not started.  Running tasks finish in
-        # the pool; the owning close() below reaps the workers themselves.
-        for future in in_flight:
-            future.cancel()
-        raise

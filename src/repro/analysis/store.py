@@ -85,13 +85,13 @@ _SIZE_SUFFIXES = {"": 1, "K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
 _KEY_PATTERN = re.compile(r"[0-9a-f]{64}-[0-9a-f]{16}")
 
 #: Archive member names accepted by :meth:`BoundStore.import_archive`: the
-#: sharded layout with either a result key or a ``-task`` key as the stem.
-#: Anything else in the tar — absolute paths, ``..`` traversals, unrelated
-#: files — is skipped, never extracted: members are read through
+#: sharded layout with a result key, a ``-task`` key or a ``-sim`` key as the
+#: stem.  Anything else in the tar — absolute paths, ``..`` traversals,
+#: unrelated files — is skipped, never extracted: members are read through
 #: ``extractfile`` and re-written through the store's own atomic write path,
 #: so a hostile archive cannot place a file anywhere but a valid entry slot.
 _ARCHIVE_MEMBER_PATTERN = re.compile(
-    r"objects/[0-9a-f]{2}/([0-9a-f]{64}-(?:[0-9a-f]{16}|task))\.json"
+    r"objects/[0-9a-f]{2}/([0-9a-f]{64}-(?:[0-9a-f]{16}|task|sim))\.json"
 )
 
 #: With a size budget configured, ``put`` triggers a full ``gc`` sweep only
@@ -286,7 +286,44 @@ class BoundStore:
             envelope["metadata"] = dict(metadata)
         return self._write_entry(key, envelope)
 
-    # -- task-level entries ---------------------------------------------------
+    # -- kinded sub-result entries (tasks, simulations) -----------------------
+
+    def _get_kinded(self, key: str, kind: str, body_field: str) -> dict | None:
+        """Shared read path for non-result entry kinds (task, simulation)."""
+        path = self.path_for(key)
+        payload = _read_json(path)
+        if (
+            payload is None
+            or _entry_schema(payload) > STORE_SCHEMA
+            or payload.get("kind") != kind
+        ):
+            self._misses += 1
+            return None
+        body = payload.get(body_field)
+        if not isinstance(body, dict):
+            self._misses += 1
+            return None
+        _touch(path)
+        self._hits += 1
+        return body
+
+    def _put_kinded(
+        self,
+        key: str,
+        kind: str,
+        body_field: str,
+        payload: Mapping[str, object],
+        metadata: Mapping[str, object] | None = None,
+    ) -> Path | None:
+        envelope: dict = {
+            "store_schema": STORE_SCHEMA,
+            "kind": kind,
+            "key": key,
+            body_field: dict(payload),
+        }
+        if metadata:
+            envelope["metadata"] = dict(metadata)
+        return self._write_entry(key, envelope)
 
     def get_task(self, key: str) -> dict | None:
         """Look up a task-level entry; returns its raw payload dict.
@@ -299,22 +336,7 @@ class BoundStore:
         objects is the planner's job — the store stays schema-agnostic about
         task internals, exactly as it is about result internals.
         """
-        path = self.path_for(key)
-        payload = _read_json(path)
-        if (
-            payload is None
-            or _entry_schema(payload) > STORE_SCHEMA
-            or payload.get("kind") != "task"
-        ):
-            self._misses += 1
-            return None
-        body = payload.get("task_result")
-        if not isinstance(body, dict):
-            self._misses += 1
-            return None
-        _touch(path)
-        self._hits += 1
-        return body
+        return self._get_kinded(key, "task", "task_result")
 
     def put_task(
         self,
@@ -323,15 +345,26 @@ class BoundStore:
         metadata: Mapping[str, object] | None = None,
     ) -> Path | None:
         """Write a task-level entry atomically (same guarantees as ``put``)."""
-        envelope: dict = {
-            "store_schema": STORE_SCHEMA,
-            "kind": "task",
-            "key": key,
-            "task_result": dict(payload),
-        }
-        if metadata:
-            envelope["metadata"] = dict(metadata)
-        return self._write_entry(key, envelope)
+        return self._put_kinded(key, "task", "task_result", payload, metadata)
+
+    def get_simulation(self, key: str) -> dict | None:
+        """Look up a ``kind="simulation"`` entry; returns its raw payload dict.
+
+        Simulation entries memoise cache-simulator runs of the tiling search
+        (:mod:`repro.upper.search`), keyed by (program fingerprint x instance
+        x cache size x tile x policy).  A warm tightness-report rerun costs
+        zero simulations exactly as a warm suite run costs zero derivations.
+        """
+        return self._get_kinded(key, "simulation", "simulation")
+
+    def put_simulation(
+        self,
+        key: str,
+        payload: Mapping[str, object],
+        metadata: Mapping[str, object] | None = None,
+    ) -> Path | None:
+        """Write a simulation entry atomically (same guarantees as ``put``)."""
+        return self._put_kinded(key, "simulation", "simulation", payload, metadata)
 
     def _write_entry(self, key: str, envelope: dict) -> Path | None:
         path = self.path_for(key)

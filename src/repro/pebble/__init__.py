@@ -2,13 +2,21 @@
 
 from .cache import SimulationResult, simulate_schedule
 from .game import GameState, Move, PebbleGameError, validate_game
-from .schedules import lexicographic_schedule, tiled_schedule, topological_schedule
+from .schedules import (
+    Schedule,
+    TilingFallbackWarning,
+    lexicographic_schedule,
+    tiled_schedule,
+    topological_schedule,
+)
 
 __all__ = [
     "GameState",
     "Move",
     "PebbleGameError",
+    "Schedule",
     "SimulationResult",
+    "TilingFallbackWarning",
     "lexicographic_schedule",
     "simulate_schedule",
     "tiled_schedule",

@@ -15,29 +15,87 @@ available offline, so we generate schedules directly on the expanded CDAG:
   simplified DFG.
 
 All generated schedules are checked for validity against the CDAG before use.
+When the requested order violates a dependence (e.g. a rectangular tiling of
+a stencil's time dimension, which is only legal after skewing), the generator
+falls back to a plain topological order.  The fallback is *observable*: the
+returned :class:`Schedule` carries a ``used_fallback`` flag and a
+:class:`TilingFallbackWarning` is emitted, so callers such as the tiling
+search in :mod:`repro.upper` can skip schedules that no longer reflect the
+tiling they asked for instead of scoring a meaningless "tiling".
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping, Sequence
 
 from ..ir import CDAG, Vertex
 
 
-def topological_schedule(cdag: CDAG) -> list[Vertex]:
+class TilingFallbackWarning(UserWarning):
+    """The requested schedule order was illegal; a topological order was used."""
+
+
+class Schedule(list):
+    """A CDAG schedule: a plain list of vertices plus provenance flags.
+
+    Subclasses ``list`` so every existing consumer (``simulate_schedule``,
+    ``CDAG.is_valid_schedule``, slicing, ...) keeps working unchanged.
+
+    Attributes
+    ----------
+    requested:
+        The order that was asked for (``"lexicographic"``, ``"tiled"``,
+        ``"topological"``).
+    used_fallback:
+        True when the requested order violated a dependence and the schedule
+        is a plain topological order instead — i.e. the schedule does *not*
+        realise the requested tiling/ordering.
+    """
+
+    def __init__(self, vertices, requested: str = "topological", used_fallback: bool = False):
+        super().__init__(vertices)
+        self.requested = requested
+        self.used_fallback = used_fallback
+
+
+def topological_schedule(cdag: CDAG) -> Schedule:
     """Any topological order of the compute vertices."""
     compute = set(cdag.compute_vertices())
-    return [v for v in cdag.topological_order() if v in compute]
+    return Schedule(
+        (v for v in cdag.topological_order() if v in compute),
+        requested="topological",
+    )
 
 
-def lexicographic_schedule(cdag: CDAG, statement_order: Sequence[str] | None = None) -> list[Vertex]:
+def _finish(cdag: CDAG, ordered: list[Vertex], requested: str, warn: bool) -> Schedule:
+    """Validate a candidate order, falling back observably when illegal."""
+    if cdag.is_valid_schedule(ordered):
+        return Schedule(ordered, requested=requested)
+    if warn:
+        warnings.warn(
+            f"{requested} order violates a dependence of {cdag.program.name!r}; "
+            "falling back to a topological order (the schedule does not "
+            "realise the requested ordering)",
+            TilingFallbackWarning,
+            stacklevel=3,
+        )
+    fallback = topological_schedule(cdag)
+    return Schedule(fallback, requested=requested, used_fallback=True)
+
+
+def lexicographic_schedule(
+    cdag: CDAG, statement_order: Sequence[str] | None = None, warn: bool = True
+) -> Schedule:
     """Program-order schedule: iteration vectors ascending, statements interleaved.
 
     Statement instances are ordered by their iteration vector first and by the
     statement's position in ``statement_order`` (default: program declaration
     order) to break ties, which reproduces the textual order of a loop nest in
     which the statements share their outer loops.  Falls back to a topological
-    order when the result violates a dependence.
+    order when the result violates a dependence (``used_fallback`` is set on
+    the returned schedule and a :class:`TilingFallbackWarning` is emitted
+    unless ``warn=False``).
     """
     order = list(statement_order or cdag.program.statements.keys())
     rank = {name: index for index, name in enumerate(order)}
@@ -46,23 +104,25 @@ def lexicographic_schedule(cdag: CDAG, statement_order: Sequence[str] | None = N
         name, point = vertex
         return (point + (float("inf"),) * 8)[:8], rank.get(name, len(rank))
 
-    schedule = sorted(cdag.compute_vertices(), key=key)
-    if cdag.is_valid_schedule(schedule):
-        return schedule
-    return topological_schedule(cdag)
+    ordered = sorted(cdag.compute_vertices(), key=key)
+    return _finish(cdag, ordered, "lexicographic", warn)
 
 
 def tiled_schedule(
     cdag: CDAG,
     tile_sizes: Mapping[str, Sequence[int]],
     statement_order: Sequence[str] | None = None,
-) -> list[Vertex]:
+    warn: bool = True,
+) -> Schedule:
     """Rectangularly tiled schedule.
 
     ``tile_sizes[statement]`` gives the tile edge length per dimension of that
     statement (1 = untiled dimension).  Instances are ordered by their tile
     coordinates first, then lexicographically within the tile.  Falls back to
-    a topological order if the tiling is not legal for the CDAG.
+    a topological order if the tiling is not legal for the CDAG — check
+    ``schedule.used_fallback`` before treating the result as a realisation of
+    the requested tiling (a :class:`TilingFallbackWarning` is emitted unless
+    ``warn=False``).
     """
     order = list(statement_order or cdag.program.statements.keys())
     rank = {name: index for index, name in enumerate(order)}
@@ -76,7 +136,5 @@ def tiled_schedule(
         )
         return tile_coord, rank.get(name, len(rank)), point
 
-    schedule = sorted(cdag.compute_vertices(), key=key)
-    if cdag.is_valid_schedule(schedule):
-        return schedule
-    return topological_schedule(cdag)
+    ordered = sorted(cdag.compute_vertices(), key=key)
+    return _finish(cdag, ordered, "tiled", warn)

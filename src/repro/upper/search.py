@@ -1,0 +1,427 @@
+"""The tiling search engine: enumerate tile shapes, simulate, keep the best.
+
+Per program instance and cache size ``S`` the search walks a powers-of-two
+grid of rectangular tile shapes (plus the untiled all-ones baseline), turns
+each into a :func:`~repro.pebble.tiled_schedule` on the instance's explicit
+CDAG, and simulates it through the LRU and Belady cache simulators.  Every
+simulated schedule is a validated red-white pebble game, so *any* candidate's
+load count is already a sound upper bound on the instance's optimal I/O — the
+search only decides how tight the reported bound is, never whether it is
+valid.  A refinement wave then perturbs the best shape one dimension at a
+time off the powers-of-two grid.
+
+Tilings whose rectangular order violates a dependence (stencil time tiling
+without skewing) are detected via the schedule's ``used_fallback`` flag and
+skipped rather than scored — except for the all-ones baseline, whose
+topological fallback is still an honest (untiled) schedule and keeps every
+kernel sandwiched.
+
+Simulations fan out through the generic event-driven scheduler
+(:func:`repro.analysis.scheduler.schedule_work`) — the same engine that runs
+derivation tasks — so a search parallelises over the configured executor and
+memoises each (program fingerprint x instance x S x tile x policy) cell as a
+``kind="simulation"`` store entry: interrupted searches resume, and a warm
+rerun performs **zero** simulations (the invariant behind
+:func:`simulation_count`, mirroring the derivation counters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import warnings
+from collections import OrderedDict
+from typing import Iterable, Mapping, Sequence
+
+from ..analysis.executor import Executor, resolve_executor
+from ..analysis.plan import program_fingerprint
+from ..analysis.scheduler import WorkItem, schedule_work
+from ..analysis.store import BoundStore
+from ..ir import CDAG, AffineProgram
+from ..pebble import TilingFallbackWarning, simulate_schedule, tiled_schedule
+from .result import TileSimulation, UpperBoundResult, select_best
+
+#: Bump to invalidate every persisted simulation entry (key material).
+SIMULATION_VERSION = 1
+
+# -- simulation counter -------------------------------------------------------
+#
+# The upper-bound twin of the derivation counters: counted on the requester
+# side as results arrive — also for simulations that ran in worker processes —
+# so a warm report rerun asserts ``simulation_count() == 0`` on any executor.
+
+_count_lock = threading.Lock()
+_simulations = 0
+
+
+def simulation_count() -> int:
+    """Number of cache simulations executed since the last reset.
+
+    Store hits do not count; simulations executed in worker threads or
+    processes do (accounted on the requester side as their results arrive).
+    """
+    return _simulations
+
+
+def reset_simulation_count() -> int:
+    """Reset the process-wide simulation counter; returns the prior count."""
+    global _simulations
+    with _count_lock:
+        previous = _simulations
+        _simulations = 0
+    return previous
+
+
+def _count_simulations(count: int) -> None:
+    global _simulations
+    with _count_lock:
+        _simulations += count
+
+
+# -- per-process CDAG cache ---------------------------------------------------
+#
+# The search simulates dozens of tilings of the *same* small CDAG; expanding
+# it once per simulation would dwarf the simulation cost.  Same pattern as
+# ``plan.dfg_for``: in-process executors share the requester's expansion, a
+# pool worker expands once per (program, instance) and reuses it for every
+# tile shape routed to that worker.
+
+_CDAG_CACHE_LIMIT = 8
+_cdag_lock = threading.Lock()
+_cdag_cache: "OrderedDict[tuple, CDAG]" = OrderedDict()
+
+
+def cdag_for(
+    program: AffineProgram,
+    instance: Mapping[str, int],
+    fingerprint: str | None = None,
+) -> CDAG:
+    """Expand (or fetch the cached) explicit CDAG of one program instance."""
+    if fingerprint is None:
+        fingerprint = program_fingerprint(program)
+    key = (fingerprint, tuple(sorted((str(k), int(v)) for k, v in instance.items())))
+    with _cdag_lock:
+        cached = _cdag_cache.get(key)
+        if cached is not None:
+            _cdag_cache.move_to_end(key)
+            return cached
+    cdag = CDAG.expand(program, instance)
+    with _cdag_lock:
+        _cdag_cache[key] = cdag
+        while len(_cdag_cache) > _CDAG_CACHE_LIMIT:
+            _cdag_cache.popitem(last=False)
+    return cdag
+
+
+# -- keys ---------------------------------------------------------------------
+
+
+def simulation_key(
+    fingerprint: str,
+    instance: Mapping[str, int],
+    cache_words: int,
+    shape: Sequence[int],
+    policy: str,
+) -> str:
+    """Store key of one simulation cell: ``<sha256>-sim``.
+
+    Keyed by (program fingerprint x instance x S x tile x policy) plus the
+    schema version, so any change to the simulator's semantics invalidates
+    persisted entries by construction rather than by garbage collection.
+    """
+    material = repr((
+        SIMULATION_VERSION,
+        fingerprint,
+        tuple(sorted((str(k), int(v)) for k, v in instance.items())),
+        int(cache_words),
+        tuple(int(s) for s in shape),
+        str(policy),
+    ))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest() + "-sim"
+
+
+# -- tile shapes --------------------------------------------------------------
+
+
+def tile_sizes_for(
+    program: AffineProgram, shape: Sequence[int]
+) -> dict[str, tuple[int, ...]]:
+    """Per-statement tile sizes from one global shape, innermost-aligned.
+
+    Statements of different depth share the *innermost* entries of the shape
+    (a 2-deep statement in a 3-deep program takes the last two edges), which
+    matches how shallower statements share the inner loops of a nest.
+    """
+    shape = tuple(int(s) for s in shape)
+    sizes = {}
+    for name, statement in program.statements.items():
+        depth = len(statement.dims)
+        sizes[name] = shape[len(shape) - depth:] if depth <= len(shape) else (
+            (1,) * (depth - len(shape)) + shape
+        )
+    return sizes
+
+
+def _extents(cdag: CDAG) -> tuple[int, ...]:
+    """Innermost-aligned iteration-space spans across all statements."""
+    depth = max(
+        (len(statement.dims) for statement in cdag.program.statements.values()),
+        default=0,
+    )
+    lows = [None] * depth
+    highs = [None] * depth
+    for name, point in cdag.compute_vertices():
+        offset = depth - len(point)
+        for local, coordinate in enumerate(point):
+            slot = offset + local
+            if lows[slot] is None or coordinate < lows[slot]:
+                lows[slot] = coordinate
+            if highs[slot] is None or coordinate > highs[slot]:
+                highs[slot] = coordinate
+    return tuple(
+        1 if lows[slot] is None else highs[slot] - lows[slot] + 1
+        for slot in range(depth)
+    )
+
+
+def candidate_shapes(
+    extents: Sequence[int], max_candidates: int = 64
+) -> list[tuple[int, ...]]:
+    """The powers-of-two tile grid: every combination of per-dimension edges.
+
+    Each dimension offers the powers of two up to its extent, plus the extent
+    itself (one tile spanning the whole dimension).  The cartesian product is
+    deterministically subsampled to ``max_candidates`` shapes; the all-ones
+    untiled baseline always survives the cut.
+    """
+    options = []
+    for extent in extents:
+        extent = max(1, int(extent))
+        edges = []
+        edge = 1
+        while edge <= extent:
+            edges.append(edge)
+            edge *= 2
+        if extent not in edges:
+            edges.append(extent)
+        options.append(edges)
+
+    shapes: list[tuple[int, ...]] = [()]
+    for edges in options:
+        shapes = [shape + (edge,) for shape in shapes for edge in edges]
+    shapes.sort()
+    if len(shapes) > max_candidates:
+        step = len(shapes) / max_candidates
+        shapes = [shapes[int(index * step)] for index in range(max_candidates)]
+    baseline = tuple(1 for _ in extents)
+    if baseline not in shapes:
+        shapes.insert(0, baseline)
+    return shapes
+
+
+def _refinement_shapes(
+    best: Sequence[int], extents: Sequence[int], tried: Iterable[tuple[int, ...]]
+) -> list[tuple[int, ...]]:
+    """Single-dimension perturbations of the winner, off the powers grid."""
+    tried = set(tried)
+    best = tuple(int(s) for s in best)
+    shapes: list[tuple[int, ...]] = []
+    for index, (edge, extent) in enumerate(zip(best, extents)):
+        for perturbed in ((edge * 3) // 4, edge + max(1, edge // 2)):
+            perturbed = max(1, min(int(extent), perturbed))
+            shape = best[:index] + (perturbed,) + best[index + 1:]
+            if shape not in tried and shape not in shapes:
+                shapes.append(shape)
+    return shapes
+
+
+# -- the worker ---------------------------------------------------------------
+
+
+def _simulate_payload(payload: tuple) -> TileSimulation:
+    """Module-level simulation entry point (picklable for process pools).
+
+    Skips — rather than scores — tilings whose rectangular order is illegal
+    for the CDAG (``used_fallback``), except the all-ones baseline: its
+    topological fallback is still an honest untiled schedule, and simulating
+    it guarantees every kernel gets at least one sound upper bound.
+    """
+    program, instance_items, cache_words, shape, policy, fingerprint = payload
+    instance = dict(instance_items)
+    cdag = cdag_for(program, instance, fingerprint)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", TilingFallbackWarning)
+        schedule = tiled_schedule(cdag, tile_sizes_for(program, shape), warn=False)
+    baseline = all(edge == 1 for edge in shape)
+    skipped = TileSimulation(
+        shape=tuple(shape),
+        policy=policy,
+        capacity=cache_words,
+        simulated=False,
+        used_fallback=schedule.used_fallback,
+    )
+    if schedule.used_fallback and not baseline:
+        return skipped
+    try:
+        result = simulate_schedule(cdag, list(schedule), cache_words, policy=policy)
+    except (ValueError, RuntimeError):
+        # Cache too small for some operation's operands: not a usable bound.
+        return skipped
+    flops = sum(program.statement(name).flops for name, _ in schedule)
+    return TileSimulation(
+        shape=tuple(shape),
+        policy=policy,
+        capacity=cache_words,
+        simulated=True,
+        used_fallback=schedule.used_fallback,
+        loads=result.loads,
+        evictions=result.evictions,
+        operations=result.operations,
+        flops=flops,
+    )
+
+
+# -- the search ---------------------------------------------------------------
+
+
+def search_upper_bounds(
+    jobs: Sequence[tuple[AffineProgram, Mapping[str, int]]],
+    cache_words: int = 64,
+    policies: Sequence[str] = ("lru", "opt"),
+    max_candidates: int = 64,
+    refine: bool = True,
+    executor: "Executor | str | None" = None,
+    n_jobs: int = 1,
+    store: BoundStore | None = None,
+) -> list[UpperBoundResult | None]:
+    """Search tilings for a batch of ``(program, instance)`` jobs at once.
+
+    All jobs' wave-1 simulations enter **one** :func:`schedule_work` queue
+    over one shared executor (exactly like a suite derivation); the
+    refinement wave then perturbs each job's winner.  Returns one
+    :class:`UpperBoundResult` per job, in job order — ``None`` for jobs
+    whose CDAG could not be expanded at the requested instance.
+
+    With a ``store``, every simulation cell persists as a
+    ``kind="simulation"`` entry; a warm rerun executes zero simulations.
+    """
+    owns_executor = executor is None or isinstance(executor, str)
+    resolved = resolve_executor(executor, n_jobs)
+    try:
+        return _run_search(
+            jobs, cache_words, policies, max_candidates, refine, resolved, store
+        )
+    finally:
+        if owns_executor:
+            resolved.close()
+
+
+def search_upper_bound(
+    program: AffineProgram,
+    instance: Mapping[str, int],
+    cache_words: int = 64,
+    **kwargs,
+) -> UpperBoundResult | None:
+    """Single-program convenience wrapper over :func:`search_upper_bounds`."""
+    return search_upper_bounds([(program, instance)], cache_words=cache_words, **kwargs)[0]
+
+
+def _run_search(
+    jobs: Sequence[tuple[AffineProgram, Mapping[str, int]]],
+    cache_words: int,
+    policies: Sequence[str],
+    max_candidates: int,
+    refine: bool,
+    executor: Executor,
+    store: BoundStore | None,
+) -> list[UpperBoundResult | None]:
+    prepared: list[dict | None] = []
+    for program, instance in jobs:
+        try:
+            cdag = cdag_for(program, instance)
+        except Exception:
+            prepared.append(None)
+            continue
+        if not cdag.compute_vertices():
+            prepared.append(None)
+            continue
+        extents = _extents(cdag)
+        prepared.append({
+            "program": program,
+            "instance": dict(cdag.params),
+            "fingerprint": program_fingerprint(program),
+            "extents": extents,
+            "shapes": candidate_shapes(extents, max_candidates),
+            "simulations": [],
+        })
+
+    def run_wave(shapes_per_job: list[list[tuple[int, ...]]]) -> None:
+        groups: list[list[WorkItem]] = []
+        group_jobs: list[int] = []
+        for job_index, job in enumerate(prepared):
+            if job is None or not shapes_per_job[job_index]:
+                continue
+            items = []
+            for shape in shapes_per_job[job_index]:
+                for policy in policies:
+                    payload = (
+                        job["program"],
+                        tuple(sorted(job["instance"].items())),
+                        int(cache_words),
+                        shape,
+                        policy,
+                        job["fingerprint"],
+                    )
+                    key = None
+                    if store is not None:
+                        key = simulation_key(
+                            job["fingerprint"], job["instance"], cache_words, shape, policy
+                        )
+                    items.append(WorkItem(payload, key=key))
+            groups.append(items)
+            group_jobs.append(job_index)
+        for group_index, results in schedule_work(
+            groups,
+            _simulate_payload,
+            executor=executor,
+            store_get=store.get_simulation if store is not None else None,
+            store_put=store.put_simulation if store is not None else None,
+            decode=lambda item, payload: TileSimulation.from_dict(payload),
+            encode=lambda item, sim: sim.to_dict(),
+            on_executed=lambda: _count_simulations(1),
+        ):
+            prepared[group_jobs[group_index]]["simulations"].extend(results)
+
+    run_wave([[] if job is None else list(job["shapes"]) for job in prepared])
+
+    if refine:
+        refinements: list[list[tuple[int, ...]]] = []
+        for job in prepared:
+            if job is None:
+                refinements.append([])
+                continue
+            best = select_best(job["simulations"])
+            if best is None:
+                refinements.append([])
+                continue
+            refinements.append(
+                _refinement_shapes(best.shape, job["extents"], job["shapes"])
+            )
+        run_wave(refinements)
+
+    results: list[UpperBoundResult | None] = []
+    for job in prepared:
+        if job is None:
+            results.append(None)
+            continue
+        simulations = sorted(job["simulations"], key=lambda sim: (sim.shape, sim.policy))
+        results.append(
+            UpperBoundResult(
+                program=job["program"].name,
+                instance=job["instance"],
+                cache_words=int(cache_words),
+                best=select_best(simulations),
+                simulations=simulations,
+            )
+        )
+    return results

@@ -74,6 +74,38 @@ class TestRoundTrip:
             assert len(tar.getmembers()) == count
 
 
+class TestSimulationEntries:
+    """PR 6: ``simulation`` kind entries replicate like results and tasks."""
+
+    SIM_KEY = "c" * 64 + "-sim"
+    SIM_PAYLOAD = {
+        "shape": [2, 2, 1], "policy": "opt", "capacity": 16,
+        "simulated": True, "used_fallback": False,
+        "loads": 123, "evictions": 45, "operations": 216, "flops": 432,
+    }
+
+    def test_export_import_round_trips_simulations(self, tmp_path, populated_store):
+        populated_store.put_simulation(self.SIM_KEY, self.SIM_PAYLOAD)
+        assert populated_store.stats().kinds.get("simulation") == 1
+
+        archive = tmp_path / "replica.tar.gz"
+        exported = populated_store.export_archive(archive)
+        replica = BoundStore(tmp_path / "replica")
+        imported, skipped = replica.import_archive(archive)
+        assert (imported, skipped) == (exported, 0)
+
+        assert replica.get_simulation(self.SIM_KEY) == self.SIM_PAYLOAD
+        assert replica.stats().kinds.get("simulation") == 1
+
+    def test_cache_stats_cli_lists_simulation_kind(self, tmp_path, populated_store, capsys):
+        from repro.__main__ import main
+
+        populated_store.put_simulation(self.SIM_KEY, self.SIM_PAYLOAD)
+        assert main(["cache", "stats", "--root", str(populated_store.root)]) == 0
+        output = capsys.readouterr().out
+        assert "simulation" in output
+
+
 class TestSchemaNegotiation:
     def test_never_overwrites_newer_entry(self, tmp_path, populated_store):
         archive = tmp_path / "replica.tar.gz"
