@@ -1,0 +1,155 @@
+"""Concurrent vs sequential service tier: warm-request turnaround under load.
+
+The threaded ``repro serve`` front-end's promise is that a warm request (its
+bound already in the store) is never stuck behind another client's cold
+derivation: each connection gets its own handler thread, all multiplexed
+into the one shared scheduler/store.  This benchmark measures the latency a
+warm single-kernel request actually sees in both shapes:
+
+* **sequential** — the warm request rides the *same* connection as a cold
+  request, behind it.  Requests within one JSON-lines stream are served in
+  order, so this is exactly what every client of the pre-threading server
+  experienced: the warm turnaround includes the whole cold derivation.
+* **concurrent** — the warm request arrives on its *own* connection while
+  the cold request is deriving on another.  The handler thread serves it
+  from the store immediately.
+
+The table (``benchmarks/out/service_concurrency.md``) reports both
+latencies plus the cold request's total; the acceptance assertion is that
+the concurrent warm turnaround is under half the sequential one (in
+practice it is ~three orders of magnitude smaller: store-hit milliseconds
+vs. derivation seconds).
+
+Methodology: each scenario gets a fresh service + store (pre-warmed with
+the warm kernel only) in this one process; the cold kernel derives from
+scratch in both.  Sympy's global caches make the second scenario's cold
+derivation somewhat faster, which only *shrinks* the concurrent scenario's
+window — it biases against the assertion, never for it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+from conftest import write_markdown_table
+
+from repro.analysis import BoundStore
+from repro.service import AnalysisService, ServiceServer
+
+#: Derives for seconds at depth 0 — a wide window for the warm request.
+COLD_KERNEL = "jacobi-2d"
+#: Sub-second derivation, pre-warmed into the store before timing starts.
+WARM_KERNEL = "gemm"
+
+
+def _request(request_id: str, kernel: str) -> bytes:
+    line = json.dumps(
+        {"id": request_id, "kernels": [kernel], "config": {"max_depth": 0}}
+    )
+    return (line + "\n").encode("utf-8")
+
+
+class _Connection:
+    def __init__(self, host: str, port: int):
+        self.conn = socket.create_connection((host, port), timeout=300)
+        self.stream = self.conn.makefile("r", encoding="utf-8")
+        assert json.loads(self.stream.readline())["event"] == "hello"
+
+    def send(self, payload: bytes) -> None:
+        self.conn.sendall(payload)
+
+    def read_done(self, request_id: str) -> dict:
+        for line in self.stream:
+            event = json.loads(line)
+            if event["event"] == "done" and event["id"] == request_id:
+                return event
+        raise AssertionError(f"stream ended before done event for {request_id!r}")
+
+    def close(self) -> None:
+        self.stream.close()
+        self.conn.close()
+
+
+def _with_server(store_root, run) -> dict:
+    """Start a threaded server on a fresh pre-warmed store, call `run`."""
+    with AnalysisService(store=BoundStore(store_root)) as service:
+        for _ in service.serve_lines([_request("prewarm", WARM_KERNEL).decode()]):
+            pass
+        with ServiceServer(("127.0.0.1", 0), service) as server:
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = server.server_address[:2]
+                return run(host, port)
+            finally:
+                server.shutdown()
+                thread.join(timeout=30)
+
+
+def _sequential(host: str, port: int) -> dict:
+    """Warm request queued behind the cold one on a single connection."""
+    connection = _Connection(host, port)
+    try:
+        started = time.perf_counter()
+        connection.send(_request("cold", COLD_KERNEL) + _request("warm", WARM_KERNEL))
+        cold_done = connection.read_done("cold")
+        cold_s = time.perf_counter() - started
+        connection.read_done("warm")
+        warm_s = time.perf_counter() - started  # includes the cold wait
+        assert cold_done["derivations"] == 1
+        return {"warm_s": warm_s, "cold_s": cold_s}
+    finally:
+        connection.close()
+
+
+def _concurrent(host: str, port: int) -> dict:
+    """Warm request on its own connection while the cold one derives."""
+    cold = _Connection(host, port)
+    warm = _Connection(host, port)
+    try:
+        cold_started = time.perf_counter()
+        cold.send(_request("cold", COLD_KERNEL))
+        time.sleep(0.05)  # let the cold derivation actually start
+        warm_started = time.perf_counter()
+        warm.send(_request("warm", WARM_KERNEL))
+        warm_done = warm.read_done("warm")
+        warm_s = time.perf_counter() - warm_started
+        cold_done = cold.read_done("cold")
+        cold_s = time.perf_counter() - cold_started
+        assert warm_done["derivations"] == 0, "warm request was not a store hit"
+        assert cold_done["derivations"] == 1
+        return {"warm_s": warm_s, "cold_s": cold_s}
+    finally:
+        warm.close()
+        cold.close()
+
+
+def test_concurrent_warm_turnaround_beats_sequential(tmp_path):
+    sequential = _with_server(tmp_path / "seq-store", _sequential)
+    concurrent = _with_server(tmp_path / "conc-store", _concurrent)
+
+    rows = [
+        {
+            "serving": name,
+            "warm latency (ms)": round(result["warm_s"] * 1000, 2),
+            "cold total (ms)": round(result["cold_s"] * 1000, 2),
+            "warm kernel": WARM_KERNEL,
+            "cold kernel": COLD_KERNEL,
+        }
+        for name, result in (("sequential", sequential), ("concurrent", concurrent))
+    ]
+    path = write_markdown_table("service_concurrency", rows)
+    print(f"\nwrote {path}")
+    for row in rows:
+        print(row)
+
+    # The headline: a warm request no longer waits out a stranger's cold
+    # derivation.  0.5x is a deliberately loose gate — the observed ratio
+    # is ~1000x — so cache-warmth noise can never flake it.
+    assert concurrent["warm_s"] < 0.5 * sequential["warm_s"], (
+        f"concurrent warm turnaround {concurrent['warm_s']:.3f}s is not "
+        f"under half the sequential {sequential['warm_s']:.3f}s"
+    )

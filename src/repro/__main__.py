@@ -27,7 +27,11 @@ Subcommands
 
 ``serve [--port N]``
     Long-lived JSON-lines analysis service (see :mod:`repro.service`):
-    requests in, streamed results out, over stdin/stdout or TCP.
+    requests in, streamed results out, over stdin/stdout or TCP.  The TCP
+    server is concurrent (one thread per connection, all connections
+    sharing one store and one executor pool); Ctrl-C stops accepting and
+    drains in-flight requests before exiting.  A ``{"stats": true}``
+    request reports uptime, in-flight requests and store statistics.
 
 ``kernels [--json]``
     List the registered PolyBench kernels (``--json`` emits the
@@ -317,18 +321,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=_store_for(args), executor=args.executor, n_jobs=args.jobs
     ) as service:
         if args.port is None:
-            service.serve_stream(sys.stdin, sys.stdout)
+            try:
+                service.serve_stream(sys.stdin, sys.stdout)
+            except KeyboardInterrupt:
+                pass
             return 0
         with ServiceServer((args.host, args.port), service) as server:
             host, port = server.server_address[:2]
             print(
-                f"serving on {host}:{port} (JSON-lines; Ctrl-C to stop)",
+                f"serving on {host}:{port} "
+                "(JSON-lines, thread per connection; Ctrl-C to stop)",
                 file=sys.stderr,
             )
             try:
                 server.serve_forever()
             except KeyboardInterrupt:
-                pass
+                # The `with` exits below: server_close() joins the
+                # non-daemonic handler threads, so every in-flight request
+                # finishes streaming before the pool is released.
+                print("draining in-flight requests ...", file=sys.stderr)
     return 0
 
 

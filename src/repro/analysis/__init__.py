@@ -56,7 +56,7 @@ from .analyzer import (
     stream_analyses,
     task_derivation_count,
 )
-from .scheduler import WorkItem, schedule_plans, schedule_work
+from .scheduler import StreamCounters, WorkItem, schedule_plans, schedule_work
 from .config import (
     DEFAULT_CACHE_SIZE,
     DEFAULT_GAMMA,
@@ -130,6 +130,7 @@ __all__ = [
     "STORE_SCHEMA",
     "SerialExecutor",
     "StoreStats",
+    "StreamCounters",
     "TaskResult",
     "ThreadExecutor",
     "WavefrontStrategy",

@@ -50,6 +50,7 @@ from .plan import (
     program_fingerprint,
 )
 from .scheduler import (
+    StreamCounters,
     _count_program_derivation,
     derivation_count,
     reset_derivation_count,
@@ -204,6 +205,7 @@ def stream_analyses(
     jobs: Sequence[tuple[AffineProgram, AnalysisConfig]],
     executor: Executor | str | None = None,
     store: BoundStore | None = None,
+    counters: StreamCounters | None = None,
 ) -> Iterator[tuple[int, IOBoundResult]]:
     """Stream ``(job_index, result)`` pairs in completion order.
 
@@ -212,7 +214,11 @@ def stream_analyses(
     configs): every job's tasks enter one
     :func:`~repro.analysis.scheduler.schedule_plans` ready queue, and a
     job's bound is combined and yielded the moment its last task lands —
-    while other jobs' tasks are still running.
+    while other jobs' tasks are still running.  A per-stream
+    :class:`~repro.analysis.scheduler.StreamCounters` counts only *this*
+    stream's derivations — the process-global :func:`derivation_count`
+    aggregates over every stream running concurrently in the process, so a
+    concurrent front-end must account per stream, never by global deltas.
 
     Ordering: store-satisfied jobs first (in job order — a warm job never
     waits behind a cold one), then completion order.  Jobs that share a
@@ -243,8 +249,10 @@ def stream_analyses(
     groups = list(by_key.values())
 
     plans = [plan_program(*jobs[indices[0]]) for indices in groups]
-    for plan_index, task_results in schedule_plans(plans, executor=executor, store=store):
-        _count_program_derivation()
+    for plan_index, task_results in schedule_plans(
+        plans, executor=executor, store=store, counters=counters
+    ):
+        _count_program_derivation(counters)
         result = combine_plan(plans[plan_index], task_results)
         indices = groups[plan_index]
         _program, config = jobs[indices[0]]
@@ -313,6 +321,7 @@ class Analyzer:
         self,
         programs: Iterable[AffineProgram],
         executor: Executor | str | None = None,
+        counters: StreamCounters | None = None,
     ) -> Iterator[tuple[str, IOBoundResult]]:
         """Stream ``(program_name, result)`` pairs in **completion order**.
 
@@ -331,7 +340,9 @@ class Analyzer:
         batch = list(programs)
         jobs = [(program, self.config) for program in batch]
         resolved = executor if executor is not None else self.config.executor
-        for index, result in stream_analyses(jobs, executor=resolved, store=self.store):
+        for index, result in stream_analyses(
+            jobs, executor=resolved, store=self.store, counters=counters
+        ):
             yield batch[index].name, result
 
     def analyze_many(

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+import threading
 from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
 
 #: Environment variable naming the default executor.
@@ -115,11 +116,16 @@ class _PoolExecutor(_ExecutorBase):
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         self.n_jobs = n_jobs
         self._pool: concurrent.futures.Executor | None = None
+        # One executor instance is shared by every request of the threaded
+        # service: lazy creation and close must be atomic or two racing
+        # threads each resolve a pool and one leaks unclosed.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> concurrent.futures.Executor:
-        if self._pool is None:
-            self._pool = type(self)._pool_factory(max_workers=self.n_jobs)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = type(self)._pool_factory(max_workers=self.n_jobs)
+            return self._pool
 
     def map(self, fn, items):
         items = list(items)
@@ -146,12 +152,14 @@ class _PoolExecutor(_ExecutorBase):
         return self._ensure_pool().submit(fn, item)
 
     def close(self) -> None:
-        if self._pool is not None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
             # cancel_futures: a close racing live work (Ctrl-C mid-suite)
             # drops everything still queued instead of letting the workers
-            # grind through abandoned tasks before the join.
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+            # grind through abandoned tasks before the join.  The swap above
+            # makes concurrent close() calls shut the pool down exactly once.
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 class ThreadExecutor(_PoolExecutor):

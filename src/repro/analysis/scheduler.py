@@ -71,10 +71,54 @@ from .strategies import get_strategy
 # backs resume tests (a half-finished run re-executes only the missing
 # tasks).  Both are counted on the requester side — also for tasks that ran
 # in a worker process — so the numbers mean the same thing on every executor.
+#
+# Both module counters are PROCESS-GLOBAL: under a concurrent front-end
+# (the threaded ``repro serve``) two overlapping streams each read the
+# combined total, so "how much work did *this* stream do" must come from a
+# per-stream :class:`StreamCounters` threaded through the call chain
+# instead (``schedule_plans(counters=...)`` → ``stream_analyses`` →
+# ``analyze_suite_stream``).  The globals keep backing the single-stream
+# CLI/test invariants.
 
 _count_lock = threading.Lock()
 _derivations = 0
 _task_derivations = 0
+
+
+class StreamCounters:
+    """Thread-safe work counters scoped to one analysis stream.
+
+    An instance passed down one ``schedule_plans``/``stream_analyses`` call
+    chain counts only that stream's derivations, however many other streams
+    are running concurrently in the process — which is what a per-request
+    ``done`` event must report.  Counting happens *in addition to* the
+    process-global counters, never instead of them.
+    """
+
+    __slots__ = ("_lock", "_derivations", "_task_derivations")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._derivations = 0
+        self._task_derivations = 0
+
+    @property
+    def derivations(self) -> int:
+        """Full program derivations this stream performed (store hits excluded)."""
+        return self._derivations
+
+    @property
+    def task_derivations(self) -> int:
+        """Individual derivation tasks this stream executed (store hits excluded)."""
+        return self._task_derivations
+
+    def count_derivation(self) -> None:
+        with self._lock:
+            self._derivations += 1
+
+    def count_task_derivations(self, count: int = 1) -> None:
+        with self._lock:
+            self._task_derivations += count
 
 
 def derivation_count() -> int:
@@ -115,16 +159,20 @@ def reset_task_derivation_count() -> int:
     return previous
 
 
-def _count_program_derivation() -> None:
+def _count_program_derivation(counters: "StreamCounters | None" = None) -> None:
     global _derivations
     with _count_lock:
         _derivations += 1
+    if counters is not None:
+        counters.count_derivation()
 
 
-def _count_task_derivations(count: int) -> None:
+def _count_task_derivations(count: int, counters: "StreamCounters | None" = None) -> None:
     global _task_derivations
     with _count_lock:
         _task_derivations += count
+    if counters is not None:
+        counters.count_task_derivations(count)
 
 
 def _execute_payload(payload: tuple) -> TaskResult:
@@ -323,6 +371,7 @@ def schedule_plans(
     plans: Sequence[DerivationPlan],
     executor: "Executor | str | None" = None,
     store: BoundStore | None = None,
+    counters: "StreamCounters | None" = None,
 ) -> Iterator[tuple[int, list[TaskResult]]]:
     """Stream ``(plan_index, task_results)`` pairs in plan-completion order.
 
@@ -340,7 +389,10 @@ def schedule_plans(
     Implemented as an adapter over the generic :func:`schedule_work` engine:
     one :class:`WorkItem` per :class:`DerivationTask`, memoised through the
     store's ``kind="task"`` entries and counted by
-    :func:`task_derivation_count`.
+    :func:`task_derivation_count` — plus, when a per-stream
+    :class:`StreamCounters` is given, on that stream's own counters (the
+    concurrent service reports each request's work from these, since the
+    process-global counters aggregate over all concurrent requests).
     """
     if not plans:
         return
@@ -369,7 +421,7 @@ def schedule_plans(
             store_put=store.put_task if store is not None else None,
             decode=lambda item, payload: TaskResult.from_dict(payload, task=item.context),
             encode=lambda item, task_result: task_result.to_dict(),
-            on_executed=lambda: _count_task_derivations(1),
+            on_executed=lambda: _count_task_derivations(1, counters),
         )
     finally:
         if owns_executor:

@@ -45,6 +45,7 @@ import os
 import re
 import tarfile
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Mapping
@@ -180,11 +181,24 @@ class BoundStore:
     def __init__(self, root: str | Path | None = None, size_budget: int | str | None = None):
         self.root = Path(root).expanduser() if root is not None else default_store_root()
         self.size_budget = parse_size(size_budget) if size_budget is not None else _default_budget()
+        # One store instance is shared by every request thread of the
+        # concurrent service; the disk layout is lock-free by design
+        # (atomic replace + miss-on-unreadable), but the session counters
+        # are plain ints and would drop increments under racing readers.
+        self._counter_lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._writes = 0
         self._evictions = 0
         self._writes_since_gc = 0
+
+    def _count_hit(self) -> None:
+        with self._counter_lock:
+            self._hits += 1
+
+    def _count_miss(self) -> None:
+        with self._counter_lock:
+            self._misses += 1
 
     # Session counters: cheap accessors (no disk I/O — unlike stats()).
 
@@ -240,17 +254,17 @@ class BoundStore:
                     # the next reader finds it in one probe; the old file is
                     # left alone (another process may be mid-read on it).
                     self.put(key, result)
-                    self._hits += 1
+                    self._count_hit()
                     return result
-            self._misses += 1
+            self._count_miss()
             return None
         schema = _entry_schema(payload)
         result = _result_from_payload(payload, schema)
         if result is None:
-            self._misses += 1
+            self._count_miss()
             return None
         _touch(path)  # bump atime explicitly: LRU works on noatime mounts
-        self._hits += 1
+        self._count_hit()
         return result
 
     def contains(self, key: str) -> bool:
@@ -297,14 +311,14 @@ class BoundStore:
             or _entry_schema(payload) > STORE_SCHEMA
             or payload.get("kind") != kind
         ):
-            self._misses += 1
+            self._count_miss()
             return None
         body = payload.get(body_field)
         if not isinstance(body, dict):
-            self._misses += 1
+            self._count_miss()
             return None
         _touch(path)
-        self._hits += 1
+        self._count_hit()
         return body
 
     def _put_kinded(
@@ -396,13 +410,17 @@ class BoundStore:
             except OSError:
                 pass
             raise
-        self._writes += 1
-        if self.size_budget is not None:
+        with self._counter_lock:
+            self._writes += 1
+            self._writes_since_gc += 1
+            run_gc = (
+                self.size_budget is not None
+                and self._writes_since_gc >= GC_WRITE_INTERVAL
+            )
+        if run_gc:
             # Amortised budget enforcement: a gc sweep walks the whole store,
             # so it runs every GC_WRITE_INTERVAL writes, not per write.
-            self._writes_since_gc += 1
-            if self._writes_since_gc >= GC_WRITE_INTERVAL:
-                self.gc()
+            self.gc()
         return path
 
     # -- replication ----------------------------------------------------------
@@ -498,16 +516,24 @@ class BoundStore:
 
     # -- maintenance ----------------------------------------------------------
 
-    def stats(self) -> StoreStats:
-        """On-disk totals plus this instance's session hit/miss counters."""
-        stats = StoreStats(
-            root=str(self.root),
-            size_budget=self.size_budget,
-            hits=self._hits,
-            misses=self._misses,
-            writes=self._writes,
-            evictions=self._evictions,
-        )
+    def stats(self, quick: bool = False) -> StoreStats:
+        """On-disk totals plus this instance's session hit/miss counters.
+
+        ``quick=True`` skips opening and parsing every entry — counts and
+        byte totals come from ``stat()`` alone, leaving ``schema_versions``
+        and ``kinds`` empty.  That is the shape a live service's stats
+        endpoint wants: answering a monitoring probe must not read the whole
+        store off disk while requests are being served.
+        """
+        with self._counter_lock:
+            stats = StoreStats(
+                root=str(self.root),
+                size_budget=self.size_budget,
+                hits=self._hits,
+                misses=self._misses,
+                writes=self._writes,
+                evictions=self._evictions,
+            )
         shards = set()
         for path in self._entries():
             try:
@@ -517,6 +543,8 @@ class BoundStore:
             stats.entries += 1
             stats.total_bytes += size
             shards.add(path.parent.name)
+            if quick:
+                continue
             payload = _read_json(path)
             schema = -1 if payload is None else _entry_schema(payload)
             stats.schema_versions[schema] = stats.schema_versions.get(schema, 0) + 1
@@ -532,7 +560,8 @@ class BoundStore:
         nor on the store, nor in ``$REPRO_STORE_BUDGET``) this is a no-op.
         """
         budget = parse_size(size_budget) if size_budget is not None else self.size_budget
-        self._writes_since_gc = 0
+        with self._counter_lock:
+            self._writes_since_gc = 0
         if budget is None:
             return 0
         records = []
@@ -555,7 +584,8 @@ class BoundStore:
                 continue  # lost a race with another gc; recount conservatively
             total -= size
             evicted += 1
-        self._evictions += evicted
+        with self._counter_lock:
+            self._evictions += evicted
         return evicted
 
     def clear(self) -> int:

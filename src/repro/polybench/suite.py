@@ -22,6 +22,7 @@ from ..analysis import (
     Analyzer,
     BoundStore,
     Executor,
+    StreamCounters,
     resolve_store,
     stream_analyses,
 )
@@ -106,6 +107,7 @@ def analyze_suite_stream(
     n_jobs: int | None = None,
     store: BoundStore | None = None,
     executor: "Executor | str | None" = None,
+    counters: StreamCounters | None = None,
     **kwargs,
 ) -> Iterator[KernelAnalysis]:
     """Stream suite results in **completion order**, one per requested kernel.
@@ -118,6 +120,12 @@ def analyze_suite_stream(
     Store-satisfied kernels stream out first without waiting on any
     derivation.  Results are byte-identical to :func:`analyze_suite`'s —
     only the iteration order differs.
+
+    ``counters`` (a :class:`~repro.analysis.StreamCounters`) receives only
+    *this* stream's derivation counts — what a concurrent caller such as the
+    ``repro serve`` front-end must report per request, since the
+    process-global :func:`~repro.analysis.derivation_count` aggregates over
+    every stream running in the process at once.
     """
     specs = all_kernels() if names is None else [get_kernel(n) for n in names]
     jobs = _suite_jobs(specs, config, n_jobs, executor, **kwargs)
@@ -131,6 +139,7 @@ def analyze_suite_stream(
         [(spec.program, job_config) for spec, job_config in jobs],
         executor=executor,
         store=store,
+        counters=counters,
     ):
         yield KernelAnalysis(spec=jobs[index][0], result=result)
 

@@ -25,6 +25,13 @@ Request (one JSON object per line)::
   requests share the server's).  ``cache_dir`` is rejected: the bound store
   is server-side state (``--cache-dir``/``--no-cache`` on ``serve``).
 
+A ``{"stats": true}`` request (optionally with an ``id``) is answered with
+one ``stats`` event instead of results: service uptime, the number of
+analysis requests currently in flight across **all** connections, totals
+served, and a cheap store snapshot (entry/byte counts from ``stat()`` plus
+this process's session hit/miss/write counters — the store is never parsed
+entry-by-entry while requests are running).
+
 Events (streamed, in completion order)::
 
     {"id": 7, "event": "result", "kernel": "gemm", "elapsed_ms": 0.4,
@@ -41,9 +48,32 @@ kernel or invalid config yields one terminal ``error`` event instead::
 
     {"id": null, "event": "error", "error": "..."}
 
-Requests in one stream are served sequentially (JSON-lines has no framing
-for interleaved responses); concurrency lives *inside* a request, where
-every kernel's tasks share the server's executor pool.  The server holds no
+Concurrency model
+-----------------
+The TCP front-end (:class:`ServiceServer`) serves **one thread per
+connection**: a warm request on one connection turns around while a cold
+30-kernel request is still deriving on another.  Requests *within* one
+stream are still served sequentially (JSON-lines has no framing for
+interleaved responses on a single byte stream) — clients that want
+concurrent requests open concurrent connections.  All connections share ONE
+:class:`AnalysisService`: one bound store and one lazily-created executor
+pool, so every concurrent request's derivation tasks are multiplexed into
+the same scheduler ready-queue machinery and worker pool rather than each
+request spawning its own workers.
+
+Because any number of requests can be deriving at once, per-request
+accounting must never read the process-global
+:func:`~repro.analysis.derivation_count` (two overlapping requests would
+each report the combined total): every request carries its own
+:class:`~repro.analysis.StreamCounters` through
+:func:`~repro.polybench.analyze_suite_stream`, and its ``done`` event
+reports exactly that stream's derivations.
+
+Shutdown: :meth:`ServiceServer.server_close` (the ``with`` exit) stops
+accepting connections and **drains** — handler threads are non-daemonic and
+joined, so every in-flight request streams its remaining events before the
+socket closes.  :meth:`AnalysisService.close` then releases the shared pool
+exactly once, however many threads race it.  The server holds no
 per-request state beyond the shared bound store, so restarting it is always
 safe.
 """
@@ -53,6 +83,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import socketserver
+import threading
 import time
 from typing import IO, Any, Iterable, Iterator
 
@@ -60,20 +91,24 @@ from .analysis import (
     AnalysisConfig,
     BoundStore,
     Executor,
-    derivation_count,
+    StreamCounters,
     resolve_executor,
 )
 from .polybench import analyze_suite_stream, kernel_names
 
 #: Version tag of the request/event protocol (bumped on breaking changes;
-#: echoed by the ``hello`` event so clients can refuse a mismatch).
+#: echoed by the ``hello`` event so clients can refuse a mismatch).  The
+#: ``stats`` request/event pair is a backward-compatible addition: clients
+#: that never send ``{"stats": true}`` never see the new event.
 PROTOCOL_VERSION = 1
 
 #: AnalysisConfig fields a request's ``config`` object may override.
 #: ``cache_dir`` is excluded on purpose: the store is server-side state, and
 #: silently honouring a client-supplied root would either be ignored or
 #: redirect the server's persistence — both surprising.  Requests that need
-#: different storage talk to a differently-configured server.
+#: different storage talk to a differently-configured server.  A request
+#: supplying it gets a purposeful rejection naming that reason (see
+#: :meth:`AnalysisService._validate`), not a generic unknown-field error.
 _CONFIG_FIELDS = {field.name for field in dataclasses.fields(AnalysisConfig)} - {
     "cache_dir"
 }
@@ -86,10 +121,12 @@ class ServiceError(ValueError):
 class AnalysisService:
     """The transport-agnostic request handler behind ``repro serve``.
 
-    One instance serves any number of requests (and, in socket mode, any
-    number of connections, one after the other): it owns the service-level
-    defaults — the shared bound store and the executor settings requests
-    inherit unless their ``config`` overrides them.
+    One instance serves any number of requests — and, in socket mode, any
+    number of **concurrent** connections: it owns the service-level shared
+    state (the bound store, the lazily-created executor pool requests
+    inherit unless their ``config`` overrides it, and the in-flight/uptime
+    bookkeeping behind the ``stats`` event), all guarded for concurrent
+    handler threads.
     """
 
     def __init__(
@@ -108,25 +145,86 @@ class AnalysisService:
         # stays the caller's to close.
         self._owns_shared = executor is None or isinstance(executor, str)
         self._shared: Executor | None = None
+        # One lock covers the shared-pool lifecycle and the request
+        # bookkeeping: both are touched from every connection's handler
+        # thread.  Unguarded, two cold connections arriving together both
+        # observe `_shared is None` and resolve two pools — one leaks.
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._in_flight = 0
+        self._requests_served = 0
 
     def _default_executor(self) -> "Executor | None":
         if not self._owns_shared:
             return self.executor  # a live instance the caller owns
-        if self._shared is None:
-            self._shared = resolve_executor(self.executor, self.n_jobs or 1)
-        return self._shared
+        with self._lock:
+            if self._shared is None:
+                self._shared = resolve_executor(self.executor, self.n_jobs or 1)
+            return self._shared
 
     def close(self) -> None:
-        """Release the shared executor pool (idempotent)."""
-        if self._owns_shared and self._shared is not None:
-            self._shared.close()
-            self._shared = None
+        """Release the shared executor pool (idempotent, thread-safe).
+
+        Concurrent callers race on the swap under the lock, so exactly one
+        of them closes the pool — the shutdown path calls this after the
+        TCP server has drained its handler threads.
+        """
+        with self._lock:
+            shared, self._shared = self._shared, None
+        if self._owns_shared and shared is not None:
+            shared.close()
 
     def __enter__(self) -> "AnalysisService":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- service bookkeeping ----------------------------------------------------
+
+    def _request_started(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+            self._requests_served += 1
+
+    def _request_finished(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        """Analysis requests currently being served, across all connections."""
+        with self._lock:
+            return self._in_flight
+
+    def stats_event(self, request_id: Any = None) -> dict[str, Any]:
+        """The ``stats`` event payload: uptime, in-flight work, store snapshot."""
+        with self._lock:
+            in_flight = self._in_flight
+            served = self._requests_served
+        store_stats = None
+        if self.store is not None:
+            # quick=True: counts and bytes from stat() only — a monitoring
+            # probe must not parse the whole store while requests run.
+            snapshot = self.store.stats(quick=True)
+            store_stats = {
+                "root": snapshot.root,
+                "entries": snapshot.entries,
+                "total_bytes": snapshot.total_bytes,
+                "hits": snapshot.hits,
+                "misses": snapshot.misses,
+                "writes": snapshot.writes,
+            }
+        return {
+            "id": request_id,
+            "event": "stats",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "in_flight": in_flight,
+            "requests_served": served,
+            "kernels": len(kernel_names()),
+            "store": store_stats,
+        }
 
     # -- request handling -----------------------------------------------------
 
@@ -141,6 +239,9 @@ class AnalysisService:
         try:
             request = self._parse(line)
             request_id = request.get("id")
+            if "stats" in request:
+                yield self._validated_stats_event(request, request_id)
+                return
             names, overrides = self._validate(request)
         except ServiceError as error:
             yield {"id": request_id, "event": "error", "error": str(error)}
@@ -165,38 +266,48 @@ class AnalysisService:
         else:
             request_executor = self._default_executor()
             request_jobs = self.n_jobs
-        derived_before = derivation_count()
+        # Per-request accounting: the process-global derivation_count()
+        # aggregates over every concurrently-running request, so `done` must
+        # report from a counter scoped to this request's stream alone.
+        counters = StreamCounters()
         count = 0
+        self._request_started()
         try:
-            for analysis in analyze_suite_stream(
-                names,
-                store=self.store,
-                executor=request_executor,
-                n_jobs=request_jobs,
-                **overrides,
-            ):
-                count += 1
-                yield {
-                    "id": request_id,
-                    "event": "result",
-                    "kernel": analysis.spec.name,
-                    "elapsed_ms": elapsed_ms(),
-                    "result": analysis.result.to_dict(),
-                }
-        except (ValueError, KeyError, TypeError) as error:
-            # Config combinations only the derivation itself can reject
-            # (e.g. an unknown strategy name) surface here: report and move
-            # on to the next request rather than killing the server.
-            message = error.args[0] if error.args else str(error)
-            yield {"id": request_id, "event": "error", "error": str(message)}
-            return
-        yield {
-            "id": request_id,
-            "event": "done",
-            "results": count,
-            "derivations": derivation_count() - derived_before,
-            "elapsed_ms": elapsed_ms(),
-        }
+            try:
+                for analysis in analyze_suite_stream(
+                    names,
+                    store=self.store,
+                    executor=request_executor,
+                    n_jobs=request_jobs,
+                    counters=counters,
+                    **overrides,
+                ):
+                    count += 1
+                    yield {
+                        "id": request_id,
+                        "event": "result",
+                        "kernel": analysis.spec.name,
+                        "elapsed_ms": elapsed_ms(),
+                        "result": analysis.result.to_dict(),
+                    }
+            except (ValueError, KeyError, TypeError) as error:
+                # Config combinations only the derivation itself can reject
+                # (e.g. an unknown strategy name) surface here: report and
+                # move on to the next request rather than killing the server.
+                message = error.args[0] if error.args else str(error)
+                yield {"id": request_id, "event": "error", "error": str(message)}
+                return
+            yield {
+                "id": request_id,
+                "event": "done",
+                "results": count,
+                "derivations": counters.derivations,
+                "elapsed_ms": elapsed_ms(),
+            }
+        finally:
+            # Runs on normal completion AND on a consumer hanging up
+            # mid-stream (generator close): in-flight never drifts.
+            self._request_finished()
 
     def serve_lines(self, lines: Iterable[str]) -> Iterator[dict[str, Any]]:
         """Serve a whole stream of request lines (blank lines are ignored)."""
@@ -215,11 +326,22 @@ class AnalysisService:
 
         Every event is written as one line and flushed immediately — the
         streaming contract: a client piping requests in sees each result
-        the moment its derivation lands, not when the batch ends.
+        the moment its derivation lands, not when the batch ends.  A client
+        that hangs up mid-stream (closed pipe, reset connection) ends the
+        stream cleanly — same contract as the TCP handler, no traceback.
         """
-        for event in self.serve_lines(in_stream):
-            out_stream.write(json.dumps(event) + "\n")
-            out_stream.flush()
+        events = self.serve_lines(in_stream)
+        try:
+            for event in events:
+                out_stream.write(json.dumps(event) + "\n")
+                out_stream.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client hung up mid-stream: end cleanly, no traceback
+        finally:
+            # Explicitly unwind the generator chain so an abandoned
+            # request's bookkeeping (in-flight count, executor ownership)
+            # resolves now, not at garbage collection.
+            events.close()
 
     # -- request parsing ------------------------------------------------------
 
@@ -233,6 +355,19 @@ class AnalysisService:
                 f"request must be a JSON object, got {type(request).__name__}"
             )
         return request
+
+    def _validated_stats_event(
+        self, request: dict[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        """Validate a ``{"stats": true}`` request and build its reply."""
+        unknown_keys = set(request) - {"id", "stats"}
+        if unknown_keys:
+            raise ServiceError(
+                f'a stats request takes only "id": remove {sorted(unknown_keys)}'
+            )
+        if request["stats"] is not True:
+            raise ServiceError('"stats" must be the JSON value true')
+        return self.stats_event(request_id)
 
     def _validate(self, request: dict[str, Any]) -> tuple[list[str] | None, dict]:
         unknown_keys = set(request) - {"id", "kernels", "config"}
@@ -254,6 +389,15 @@ class AnalysisService:
         overrides = request.get("config") or {}
         if not isinstance(overrides, dict):
             raise ServiceError('"config" must be a JSON object of AnalysisConfig fields')
+        if "cache_dir" in overrides:
+            # The documented purposeful rejection, not a generic unknown-field
+            # error: the field exists on AnalysisConfig, it is just not a
+            # per-request knob.
+            raise ServiceError(
+                '"cache_dir" cannot be set per request: the bound store is '
+                "server-side state shared by every request (configure it with "
+                "--cache-dir/--no-cache on `repro serve`)"
+            )
         unknown_fields = set(overrides) - _CONFIG_FIELDS
         if unknown_fields:
             raise ServiceError(f"unknown config fields: {sorted(unknown_fields)}")
@@ -272,25 +416,45 @@ class _TCPHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         service: AnalysisService = self.server.service  # type: ignore[attr-defined]
         reader = (raw.decode("utf-8", errors="replace") for raw in self.rfile)
+        events = service.serve_lines(reader)
         try:
-            for event in service.serve_lines(reader):
+            for event in events:
                 self.wfile.write((json.dumps(event) + "\n").encode("utf-8"))
                 self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError):
             pass  # client hung up mid-stream; nothing to clean up
+        finally:
+            # Unwind the abandoned request's bookkeeping (in-flight count)
+            # immediately, not whenever the GC finalizes the generator.
+            events.close()
 
 
-class ServiceServer(socketserver.TCPServer):
-    """One-connection-at-a-time TCP front-end around an :class:`AnalysisService`.
+class ServiceServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    """Thread-per-connection TCP front-end around an :class:`AnalysisService`.
 
-    Sequential on purpose: requests inside a connection are already served
-    in order (JSON-lines has no response framing), and the parallelism that
-    matters — every kernel's derivation tasks — lives in the executor pool
-    shared by all requests.  ``allow_reuse_address`` keeps quick restarts
-    from tripping over ``TIME_WAIT``.
+    Concurrent on purpose: a warm request turns around in sub-millisecond
+    analysis time on one connection while a cold full-suite request is
+    still streaming on another.  Requests *within* a connection stay
+    sequential (JSON-lines has no response framing), and every connection's
+    derivation tasks share the one service-owned executor pool — the
+    parallelism budget is the pool, not the connection count.
+
+    Shutdown semantics: handler threads are **non-daemonic** and
+    ``server_close`` (the ``with`` exit) blocks until they finish, so
+    stopping the server drains every in-flight request — each connected
+    client receives its remaining ``result``/``done`` events — before the
+    listening socket is torn down.  Close the shared
+    :class:`AnalysisService` *after* the server, exactly as
+    ``python -m repro serve`` does.  ``allow_reuse_address`` keeps quick
+    restarts from tripping over ``TIME_WAIT``.
     """
 
     allow_reuse_address = True
+    # Explicit (these are the ThreadingMixIn defaults, but they ARE the
+    # drain-on-shutdown contract documented above): handler threads outlive
+    # nothing — server_close() joins them all.
+    daemon_threads = False
+    block_on_close = True
 
     def __init__(self, address: tuple[str, int], service: AnalysisService):
         super().__init__(address, _TCPHandler)

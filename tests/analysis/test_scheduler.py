@@ -28,10 +28,13 @@ from repro.analysis import (
     AnalysisConfig,
     Analyzer,
     BoundStore,
+    StreamCounters,
     ThreadExecutor,
+    derivation_count,
     plan_program,
     reset_task_derivation_count,
     schedule_plans,
+    stream_analyses,
     task_derivation_count,
 )
 from repro.analysis.scheduler import _execute_payload
@@ -341,3 +344,75 @@ class TestInterruptResume:
         assert not closer.is_alive()
         assert first.result() == 0
         assert executed == [0]
+
+
+class TestStreamCounters:
+    """Per-stream accounting: the concurrency-correctness substrate of the
+    threaded service.  The module-global derivation_count() aggregates over
+    every stream in the process; a StreamCounters instance threaded through
+    one stream_analyses() call chain must count that stream's work alone."""
+
+    @staticmethod
+    def _jobs(names):
+        config = AnalysisConfig(max_depth=0)
+        return [(get_kernel(name).program, config) for name in names]
+
+    def test_counters_scope_to_one_stream_under_interleaving(self):
+        """Two interleaved streams: each counter sees only its own stream's
+        derivations, while the global counter sees both.  The interleave is
+        deterministic (generators advanced by hand), so with global-delta
+        accounting stream 1 would observe stream 2's work — the exact bug
+        the concurrent service hit."""
+        counters_one, counters_two = StreamCounters(), StreamCounters()
+        stream_one = stream_analyses(self._jobs(["gemm"]), counters=counters_one)
+        stream_two = stream_analyses(
+            self._jobs(["atax", "bicg"]), counters=counters_two
+        )
+        global_before = derivation_count()
+
+        next(stream_one)          # stream 1 derives its single program ...
+        results_two = list(stream_two)  # ... then stream 2 derives both of its
+        assert list(stream_one) == []   # stream 1 finishes: nothing left
+
+        assert counters_one.derivations == 1
+        assert counters_two.derivations == 2
+        assert len(results_two) == 2
+        assert derivation_count() - global_before == 3
+
+    def test_task_derivations_are_counted_per_stream(self):
+        counters = StreamCounters()
+        plans = [plan_program(get_kernel("gemm").program, AnalysisConfig(max_depth=0))]
+        list(schedule_plans(plans, counters=counters))
+        assert counters.task_derivations == len(plans[0].tasks)
+        assert counters.derivations == 0  # schedule_plans counts tasks only
+
+    def test_warm_stream_counts_zero(self, tmp_path):
+        store = BoundStore(tmp_path / "store")
+        jobs = self._jobs(["gemm"])
+        cold = StreamCounters()
+        list(stream_analyses(jobs, store=store, counters=cold))
+        assert cold.derivations == 1
+
+        warm = StreamCounters()
+        results = list(stream_analyses(jobs, store=store, counters=warm))
+        assert len(results) == 1
+        assert warm.derivations == 0
+        assert warm.task_derivations == 0
+
+    def test_counters_are_thread_safe(self):
+        counters = StreamCounters()
+        barrier = threading.Barrier(4)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(500):
+                counters.count_derivation()
+                counters.count_task_derivations(2)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counters.derivations == 2000
+        assert counters.task_derivations == 4000

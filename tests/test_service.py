@@ -110,11 +110,15 @@ class TestErrors:
             (request_line(kernels="gemm"), "list of kernel names"),
             (request_line(bogus=1), "unknown request keys"),
             (request_line(kernels=["gemm"], config={"bogus": 1}), "unknown config fields"),
-            # cache_dir is server-side state, not a per-request knob.
+            # cache_dir is a real AnalysisConfig field, so it earns the
+            # documented purposeful rejection, not the unknown-field error.
             (
                 request_line(kernels=["gemm"], config={"cache_dir": "/tmp/x"}),
-                "unknown config fields",
+                "server-side state",
             ),
+            # Stats requests take no other keys and demand a literal true.
+            (request_line(stats=True, kernels=["gemm"]), "stats request takes only"),
+            (request_line(stats="yes"), "must be the JSON value true"),
             (request_line(kernels=["gemm"], config=[1]), "must be a JSON object"),
             (request_line(kernels=["gemm"], config={"gamma": 7}), "invalid config"),
             (
@@ -260,3 +264,375 @@ class TestServeStream:
         assert [json.loads(line)["event"] for line in lines] == [
             "hello", "result", "done",
         ]
+
+    @pytest.mark.parametrize("hangup", [BrokenPipeError, ConnectionResetError])
+    def test_client_hangup_ends_the_stream_cleanly(self, service, hangup):
+        """A closed stdout pipe (client died) must end serve_stream without
+        a traceback, and the abandoned request's in-flight count must be
+        unwound immediately."""
+        import io
+
+        class HangupStream(io.StringIO):
+            def __init__(self, fail_after: int):
+                super().__init__()
+                self.writes_left = fail_after
+
+            def write(self, text):
+                if self.writes_left <= 0:
+                    raise hangup("client went away")
+                self.writes_left -= 1
+                return super().write(text)
+
+        source = io.StringIO(
+            request_line(kernels=["gemm", "atax"], config={"max_depth": 0}) + "\n"
+        )
+        out = HangupStream(fail_after=2)  # hello + first result, then the pipe dies
+        service.serve_stream(source, out)  # must not raise
+        assert service.in_flight == 0
+        events = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert [event["event"] for event in events] == ["hello", "result"]
+
+
+class TestPerRequestAccounting:
+    """The cross-request accounting bugfix: ``done`` events report the
+    request's OWN derivations, not a delta of the process-global counter
+    that every concurrent request also bumps."""
+
+    def test_interleaved_requests_each_report_only_their_own_derivations(self, tmp_path):
+        """Advance two request generators by hand so their derivations
+        interleave deterministically.  The old global-delta accounting
+        (``derivation_count() - derived_before``) would make the one-kernel
+        request report all three derivations."""
+        from repro.analysis import derivation_count
+
+        service = AnalysisService(store=BoundStore(tmp_path / "store"))
+        derived_before = derivation_count()
+        one = service.handle_request(
+            request_line(id="one", kernels=["gemm"], config={"max_depth": 0})
+        )
+        two = service.handle_request(
+            request_line(id="two", kernels=["atax", "bicg"], config={"max_depth": 0})
+        )
+        # Interleave: request "two" derives both its kernels between request
+        # "one"'s derivation and its done event.
+        assert next(one)["event"] == "result"          # one derives gemm
+        assert next(two)["event"] == "result"          # two derives atax
+        assert next(two)["event"] == "result"          # two derives bicg
+        done_two = next(two)
+        done_one = next(one)
+        assert done_two["event"] == "done" and done_one["event"] == "done"
+        # Three derivations happened globally while "one" was in flight...
+        assert derivation_count() - derived_before == 3
+        # ...but each request reports only its own.
+        assert done_one["derivations"] == 1
+        assert done_two["derivations"] == 2
+        service.close()
+
+    def test_in_flight_is_unwound_when_a_client_abandons_mid_request(self, service):
+        request = service.handle_request(
+            request_line(kernels=["gemm", "atax"], config={"max_depth": 0})
+        )
+        assert next(request)["event"] == "result"
+        assert service.in_flight == 1
+        request.close()  # client hung up between results
+        assert service.in_flight == 0
+
+
+class TestStats:
+    def test_stats_event_reports_service_and_store_state(self, service):
+        events = events_for(
+            service,
+            request_line(kernels=["gemm"], config={"max_depth": 0}),
+            request_line(id="probe", stats=True),
+        )
+        stats = events[-1]
+        assert stats["event"] == "stats"
+        assert stats["id"] == "probe"
+        assert stats["protocol"] == PROTOCOL_VERSION
+        assert stats["uptime_s"] >= 0
+        assert stats["in_flight"] == 0
+        assert stats["requests_served"] == 1  # stats probes are not analysis requests
+        assert stats["kernels"] == len(kernel_names())
+        store = stats["store"]
+        # A cold derivation persists the program bound plus task-level
+        # sub-bounds; the quick snapshot sees every entry this session wrote.
+        assert store["entries"] >= 1
+        assert store["entries"] == store["writes"]
+        assert store["total_bytes"] > 0
+        assert store["misses"] >= 1
+
+    def test_stats_without_a_store_reports_null(self):
+        with AnalysisService(store=None) as service:
+            events = events_for(service, request_line(stats=True))
+            assert events[-1]["store"] is None
+
+
+def _read_until(stream, kind: str) -> list[dict]:
+    """Collect events from a socket line stream until `kind` (inclusive)."""
+    events = []
+    for line in stream:
+        event = json.loads(line)
+        events.append(event)
+        if event["event"] == kind:
+            return events
+    raise AssertionError(f"stream ended before a {kind!r} event: {events}")
+
+
+class _Client:
+    """One interactive JSON-lines TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self.conn = socket.create_connection((host, port), timeout=timeout)
+        self.stream = self.conn.makefile("r", encoding="utf-8")
+
+    def send(self, line: str) -> None:
+        self.conn.sendall((line + "\n").encode("utf-8"))
+
+    def read_event(self) -> dict:
+        return json.loads(self.stream.readline())
+
+    def read_until(self, kind: str) -> list[dict]:
+        return _read_until(self.stream, kind)
+
+    def close(self) -> None:
+        self.stream.close()
+        self.conn.close()
+
+
+def _await_in_flight(client: "_Client", minimum: int, timeout: float = 30.0) -> dict:
+    """Poll ``{"stats": true}`` until at least `minimum` requests are in
+    flight; returns the satisfying stats event."""
+    deadline = time.monotonic() + timeout
+    while True:
+        client.send(request_line(stats=True))
+        stats = client.read_event()
+        assert stats["event"] == "stats"
+        if stats["in_flight"] >= minimum:
+            return stats
+        assert time.monotonic() < deadline, (
+            f"no request became in-flight within {timeout}s: {stats}"
+        )
+        time.sleep(0.01)
+
+
+class TestConcurrentTCP:
+    # Disjoint single-derivation workloads, all <0.2s at max_depth 0.
+    CHEAP = ["deriche", "gesummv", "mvt", "bicg", "trisolv", "gemm", "doitgen", "atax"]
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        service = AnalysisService(store=BoundStore(tmp_path / "store"))
+        server = ServiceServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server, service
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=30)
+            service.close()
+
+    def test_four_clients_get_byte_identical_payloads_and_own_counts(
+        self, server, tmp_path
+    ):
+        """4 concurrent connections x 2 requests each: every client receives
+        exactly the payload a sequential run produces, and every done event
+        counts only its own request's derivation."""
+        tcp, service = server
+        host, port = tcp.server_address[:2]
+        # Sequential ground truth from an independent service + store.
+        expected = {}
+        with AnalysisService(store=BoundStore(tmp_path / "seq-store")) as sequential:
+            for name in self.CHEAP:
+                events = events_for(
+                    sequential, request_line(kernels=[name], config={"max_depth": 0})
+                )
+                expected[name] = events[1]["result"]
+
+        per_client = [self.CHEAP[i::4] for i in range(4)]  # 2 disjoint kernels each
+        outputs: list[list[dict] | None] = [None] * 4
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(4)
+
+        def run_client(index: int) -> None:
+            try:
+                lines = "".join(
+                    request_line(
+                        id=f"c{index}r{request}",
+                        kernels=[kernel],
+                        config={"max_depth": 0},
+                    )
+                    + "\n"
+                    for request, kernel in enumerate(per_client[index])
+                )
+                barrier.wait(timeout=30)
+                with socket.create_connection((host, port), timeout=120) as conn:
+                    conn.sendall(lines.encode("utf-8"))
+                    conn.shutdown(socket.SHUT_WR)
+                    stream = conn.makefile("r", encoding="utf-8")
+                    outputs[index] = [json.loads(line) for line in stream]
+            except BaseException as error:  # surfaced in the main thread
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=run_client, args=(index,)) for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not errors, errors
+        assert all(output is not None for output in outputs)
+
+        for index, events in enumerate(outputs):
+            assert events[0]["event"] == "hello"
+            body = events[1:]
+            assert [event["event"] for event in body] == [
+                "result", "done", "result", "done",
+            ]
+            for request, kernel in enumerate(per_client[index]):
+                result, done = body[2 * request], body[2 * request + 1]
+                assert result["id"] == f"c{index}r{request}"
+                assert result["kernel"] == kernel
+                assert json.dumps(result["result"], sort_keys=True) == json.dumps(
+                    expected[kernel], sort_keys=True
+                ), f"client {index} payload for {kernel} differs from sequential run"
+                assert done["results"] == 1
+                # THE bugfix: under the old global-delta accounting,
+                # overlapping requests each reported their neighbours' work.
+                assert done["derivations"] == 1, (
+                    f"client {index} request {request} counted foreign derivations"
+                )
+        assert service.in_flight == 0
+
+    def test_warm_request_completes_while_cold_request_is_in_flight(self, server):
+        tcp, service = server
+        host, port = tcp.server_address[:2]
+        # Pre-warm gemm so the warm request is pure store traffic.
+        events_for(service, request_line(kernels=["gemm"], config={"max_depth": 0}))
+
+        cold = _Client(host, port)
+        warm = _Client(host, port)
+        try:
+            assert cold.read_event()["event"] == "hello"
+            assert warm.read_event()["event"] == "hello"
+            # jacobi-2d at depth 0 derives for seconds — a wide-open window.
+            cold.send(request_line(id="cold", kernels=["jacobi-2d"], config={"max_depth": 0}))
+            _await_in_flight(warm, minimum=1)
+
+            warm.send(request_line(id="warm", kernels=["gemm"], config={"max_depth": 0}))
+            warm_events = [warm.read_event(), warm.read_event()]
+            assert [event["event"] for event in warm_events] == ["result", "done"]
+            assert warm_events[1]["derivations"] == 0  # pure store hit
+
+            # The cold request must still be running: the warm one was
+            # served concurrently, not queued behind it.
+            warm.send(request_line(stats=True))
+            stats = warm.read_event()
+            assert stats["in_flight"] >= 1, (
+                "cold request finished before the warm turnaround — "
+                "the server is serializing connections"
+            )
+
+            cold_events = cold.read_until("done")
+            assert cold_events[-1]["id"] == "cold"
+            assert cold_events[-1]["derivations"] == 1
+        finally:
+            warm.close()
+            cold.close()
+
+    def test_shutdown_drains_in_flight_requests(self, tmp_path):
+        """server_close() while a request is streaming: the client still
+        receives every remaining event, then the service pool closes once."""
+        service = AnalysisService(store=BoundStore(tmp_path / "store"))
+        server = ServiceServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+
+        client = _Client(host, port)
+        client.send(request_line(id="draining", kernels=["fdtd-2d"], config={"max_depth": 0}))
+        # Half-close: the handler sees EOF after this one request, so the
+        # drain has a definite end.
+        client.conn.shutdown(socket.SHUT_WR)
+        assert client.read_event()["event"] == "hello"
+
+        probe = _Client(host, port)
+        try:
+            assert probe.read_event()["event"] == "hello"
+            _await_in_flight(probe, minimum=1)
+        finally:
+            probe.close()
+
+        closer = threading.Thread(target=lambda: (server.shutdown(), server.server_close()))
+        closer.start()
+        try:
+            # The shutdown is in progress, yet the in-flight request streams
+            # to completion.
+            events = client.read_until("done")
+            assert [event["event"] for event in events] == ["result", "done"]
+            assert events[-1]["derivations"] == 1
+        finally:
+            client.close()
+        closer.join(timeout=120)
+        assert not closer.is_alive(), "server_close() failed to drain and return"
+        thread.join(timeout=30)
+        service.close()
+        assert service.in_flight == 0
+
+
+class TestSharedStateRaces:
+    def test_lazy_pool_init_race_resolves_exactly_one_pool(self, monkeypatch):
+        """Two concurrent first requests must not both observe `_shared is
+        None` and leak a pool: widen the resolve window and hammer it."""
+        import repro.service as service_module
+        from repro.analysis.executor import resolve_executor as real_resolve
+
+        created = []
+
+        def slow_resolve(executor=None, n_jobs=1):
+            time.sleep(0.05)  # widen the race window
+            instance = real_resolve(executor, n_jobs)
+            created.append(instance)
+            return instance
+
+        monkeypatch.setattr(service_module, "resolve_executor", slow_resolve)
+        service = AnalysisService(executor="thread", n_jobs=2)
+        seen: list[object] = []
+        barrier = threading.Barrier(8)
+
+        def grab() -> None:
+            barrier.wait(timeout=30)
+            seen.append(service._default_executor())
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(created) == 1, "racing first requests leaked executor pools"
+        assert len({id(instance) for instance in seen}) == 1
+        service.close()
+
+    def test_racing_closers_close_the_shared_pool_exactly_once(self, tmp_path):
+        service = AnalysisService(
+            store=BoundStore(tmp_path / "store"), executor="thread", n_jobs=2
+        )
+        shared = service._default_executor()
+        closes: list[int] = []
+        original_close = shared.close
+        shared.close = lambda: (closes.append(1), original_close())  # type: ignore[method-assign]
+        barrier = threading.Barrier(6)
+
+        def racer() -> None:
+            barrier.wait(timeout=30)
+            service.close()
+
+        threads = [threading.Thread(target=racer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(closes) == 1, "concurrent close() callers double-closed the pool"
+        assert service._shared is None
