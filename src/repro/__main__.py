@@ -38,6 +38,14 @@ Subcommands
     machine-readable registry document service clients discover workloads
     from).
 
+``fuzz [--seeds N] [--profile small|wide|deep] [--oracle NAME ...]``
+    Differential fuzzing (see :mod:`repro.fuzz`): generate seeded random
+    affine programs and check each against the soundness oracles
+    (executors, backends, store, sandwich, counting).  Failures are shrunk
+    to minimal reproductions and, with ``--corpus DIR``, written as
+    replayable JSON entries; ``--replay FILE`` re-runs one entry and exits
+    non-zero while the divergence still reproduces.
+
 ``cache {stats,gc,clear,export,import}``
     Maintain the shared persistent bound store (``$REPRO_STORE`` or
     ``~/.cache/repro``): show layout/usage statistics, evict
@@ -343,6 +351,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import load_corpus_entry, replay_entry, run_campaign
+
+    if args.replay is not None:
+        entry = load_corpus_entry(args.replay)
+        outcome = replay_entry(entry)
+        if args.json:
+            print(json.dumps({"replay": str(args.replay), **outcome.to_dict()}, indent=2))
+        else:
+            if not outcome.fingerprint_matches:
+                print(
+                    f"warning: regenerated program fingerprint {outcome.fingerprint} "
+                    f"differs from the recorded {outcome.expected_fingerprint} "
+                    "(generator drift: the entry may check a different program)",
+                    file=sys.stderr,
+                )
+            state = "still reproduces" if outcome.reproduced else "no longer reproduces"
+            print(f"{entry['oracle']} divergence of seed {entry['seed']} {state}")
+            if outcome.reproduced:
+                print(outcome.verdict.details)
+        return 1 if outcome.reproduced else 0
+
+    result = run_campaign(
+        range(args.seed_start, args.seed_start + args.seeds),
+        profile=args.profile,
+        oracles=args.oracle or None,
+        executor=args.executor,
+        n_jobs=args.jobs or 1,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        log=None if args.json else print,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        cases, failures = len(result.completed), len(result.failures)
+        tail = " (stopped early: time budget)" if result.stopped_early else ""
+        print(
+            f"{cases}/{len(result.seeds)} cases [{result.profile.name}], "
+            f"{result.checks} checks across {len(result.oracles)} oracles, "
+            f"{failures} failures in {result.elapsed:.1f}s{tail}"
+        )
+        for failure in result.failures:
+            where = f" -> {failure.corpus_path}" if failure.corpus_path else ""
+            print(
+                f"  FAIL seed {failure.seed} {failure.oracle}: "
+                f"{failure.verdict.details}{where}"
+            )
+    return 0 if result.ok else 1
+
+
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     stats = BoundStore(args.root).stats()
     if args.json:
@@ -509,6 +569,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve without the persistent bound store (every request derives)",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    from .fuzz import PROFILES, oracle_names
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing: random affine programs vs soundness oracles",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=25, metavar="N",
+        help="number of consecutive seeds to fuzz (default: 25)",
+    )
+    fuzz.add_argument(
+        "--seed-start", type=int, default=0, metavar="K",
+        help="first seed of the campaign (default: 0)",
+    )
+    fuzz.add_argument(
+        "--profile", choices=sorted(PROFILES), default="small",
+        help="generator size profile (default: small)",
+    )
+    fuzz.add_argument(
+        "--oracle", action="append", choices=oracle_names(), metavar="NAME",
+        help=f"oracle to run, repeatable (default: all of {', '.join(oracle_names())})",
+    )
+    fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="S",
+        help="stop scheduling new cases after S seconds (completed cases kept)",
+    )
+    fuzz.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="write minimized failures as replayable JSON entries under DIR",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-run one corpus entry: exit 1 while the divergence reproduces, "
+             "0 once fixed",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="record failures without greedy statement/dependence/dimension "
+             "deletion",
+    )
+    fuzz.add_argument(
+        "--executor", choices=EXECUTOR_NAMES, default=None,
+        help="campaign executor (default: serial; process parallelises across "
+             "seeds)",
+    )
+    fuzz.add_argument("--jobs", type=int, default=None, metavar="N",
+                      help="parallel workers for the campaign executor")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the campaign (or replay) result as JSON on stdout")
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     cache = commands.add_parser("cache", help="maintain the persistent bound store")
     cache_commands = cache.add_subparsers(dest="cache_command", required=True)

@@ -290,7 +290,7 @@ def _cached_forward_relations(dfg: DFG) -> list[AffineRelation]:
 
 
 def _validate_reachability_symbolic(
-    dfg: DFG, statement: str, depth: int
+    dfg: DFG, statement: str, depth: int, backend=None
 ) -> ReachabilityResult:
     """Check Cor. 6.3's hypothesis symbolically (Algorithm 5).
 
@@ -299,12 +299,31 @@ def _validate_reachability_symbolic(
     certify the containment in the transitive closure.  The answer is
     instance-independent: it quantifies over all slices and all parameter
     values in the non-degenerate regime (every parameter >= 1).
+
+    The verdict is memoised on the DFG instance, keyed by (statement, depth,
+    backend name): the transitive-closure check is by far the most expensive
+    step of a derivation, it is deterministic for a fixed backend, and the
+    per-process DFG cache (:func:`repro.analysis.plan.dfg_for`) hands the
+    same DFG to every derivation of the same program — so re-deriving under
+    a different executor, strategy subset or store state (exactly what the
+    differential fuzzer does all day) pays for the closure once.
     """
+    resolved = backend if backend is not None else get_backend()
+    cache = getattr(dfg, "_reachability_cache", None)
+    if cache is None:
+        cache = {}
+        dfg._reachability_cache = cache
+    key = (statement, depth, resolved.name)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     stmt = dfg.program.statement(statement)
     edges = _cached_forward_relations(dfg)
     target = slice_step_relation(stmt.domain, depth)
     context = [Constraint(LinExpr({p: 1}, -1)) for p in dfg.program.params]
-    return get_backend().check_reachability(edges, target, statement, context)
+    result = resolved.check_reachability(edges, target, statement, context)
+    cache[key] = result
+    return result
 
 
 # -- concrete validation (differential oracle; DESIGN.md deviation 3) --------

@@ -1,0 +1,402 @@
+"""Seeded affine-program generation: the input side of the fuzzer.
+
+Every fuzz case is an :class:`~repro.ir.AffineProgram` fully determined by a
+``(seed, profile)`` pair: the same pair produces the same program — same
+statements, same dependences, same declaration order — in every process and
+on every platform, so a one-line corpus entry reproduces a failure exactly.
+The program *fingerprint* (:func:`repro.analysis.plan.program_fingerprint`)
+is the stability contract the tests pin down: fingerprints are computed from
+the mathematical content, so cross-process determinism is checked end to end.
+
+Profiles
+--------
+``small``
+    The historical two-statement generator that `tests/rel/` grew for the
+    random-DFG soundness sweeps, promoted here verbatim (same RNG call
+    sequence, same dependence-template pool), so every seed keeps producing
+    the exact program the existing sweep results were obtained on.
+``wide``
+    More statements (3-5) on 2-D domains with a richer dependence mix —
+    exercises the decomposition lemma across many may-spill sets.
+``deep``
+    3-D iteration domains with two inner dimensions — exercises deeper
+    wavefront parametrisation and higher-dimensional counting/projection.
+
+Generated dependences are drawn from *offset families* chosen so that the
+instance-level CDAG is acyclic by construction: a dependence either steps
+backwards in time (``t-1`` with any inner coordinate), stays within the same
+time step reading a strictly earlier statement, or steps backwards along an
+inner dimension of the same statement.  Executing vertices in lexicographic
+``(t, statement index, inner dims)`` order then respects every edge.
+
+Reductions
+----------
+The shrinker (:mod:`repro.fuzz.runner`) minimises failing programs by
+deleting statements, dependences and dimensions.  The surgery lives here —
+:func:`delete_statement`, :func:`delete_dependence`, :func:`delete_dimension`
+and the :func:`apply_reduction` replay — because a corpus entry records a
+failure as ``(seed, profile, reduction)``: regenerate, re-apply, re-check.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.plan import program_fingerprint
+from ..ir import AffineProgram, ProgramBuilder
+from ..ir.program import FlowDep, Statement
+from ..sets import AffineFunction
+
+#: Dependence templates over two statements P/Q on [0,M) x [0,N) domains —
+#: the historical pool of ``tests/rel/test_reachability.py``, verbatim.
+DEP_POOL_SMALL = [
+    "[M, N] -> {{ P[t, i] -> P[t, i - 1] : 0 <= t < M and 1 <= i < N }}",
+    "[M, N] -> {{ P[t, i] -> P[t - 1, i] : 1 <= t < M and 0 <= i < N }}",
+    "[M, N] -> {{ Q[t, i] -> Q[t - 1, i] : 1 <= t < M and 0 <= i < N }}",
+    "[M, N] -> {{ Q[t, i] -> Q[t, i - 1] : 0 <= t < M and 1 <= i < N }}",
+    "[M, N] -> {{ Q[t, i] -> P[t, N - 1] : 0 <= t < M and 0 <= i < N }}",
+    "[M, N] -> {{ Q[t, i] -> P[t, i] : 0 <= t < M and 0 <= i < N }}",
+    "[M, N] -> {{ P[t, i] -> Q[t - 1, i] : 1 <= t < M and 0 <= i < N }}",
+    "[M, N] -> {{ P[t, i] -> Q[t - 1, N - 1] : 1 <= t < M and 0 <= i < N }}",
+    "[M, N] -> {{ P[t, i] -> Q[t - 1, 0] : 1 <= t < M and 0 <= i < N }}",
+]
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Size knobs of one generator family.
+
+    ``statements``/``dependences`` are inclusive ``(min, max)`` ranges the
+    seeded RNG draws from; ``dims`` is the statement dimensionality (the
+    first dimension is always the time-like ``t``); ``instances`` are the
+    tiny concrete parameter valuations the CDAG-expanding oracles use.
+    """
+
+    name: str
+    params: tuple[str, ...] = ("M", "N")
+    dims: int = 2
+    statements: tuple[int, int] = (2, 2)
+    dependences: tuple[int, int] = (2, 5)
+    instances: tuple[tuple[tuple[str, int], ...], ...] = (
+        (("M", 3), ("N", 4)),
+        (("M", 4), ("N", 5)),
+    )
+    description: str = ""
+
+    def instance_dicts(self) -> list[dict[str, int]]:
+        return [dict(pairs) for pairs in self.instances]
+
+
+PROFILES: dict[str, FuzzProfile] = {
+    "small": FuzzProfile(
+        name="small",
+        description="the historical tests/rel two-statement 2-D generator",
+    ),
+    "wide": FuzzProfile(
+        name="wide",
+        statements=(3, 5),
+        dependences=(4, 9),
+        description="3-5 statements on 2-D domains, richer dependence mix",
+    ),
+    "deep": FuzzProfile(
+        name="deep",
+        dims=3,
+        statements=(2, 3),
+        dependences=(3, 7),
+        instances=((("M", 3), ("N", 3)), (("M", 4), ("N", 3))),
+        description="2-3 statements on 3-D domains (two inner dimensions)",
+    ),
+}
+
+#: Inner dimension names by position (after the leading time dimension).
+_INNER_DIMS = ("i", "j", "k")
+
+
+def profile_to_dict(profile: FuzzProfile) -> dict:
+    """JSON form of a profile (corpus entries embed it for custom profiles)."""
+    return {
+        "name": profile.name,
+        "params": list(profile.params),
+        "dims": profile.dims,
+        "statements": list(profile.statements),
+        "dependences": list(profile.dependences),
+        "instances": [[list(pair) for pair in inst] for inst in profile.instances],
+        "description": profile.description,
+    }
+
+
+def profile_from_dict(doc: dict) -> FuzzProfile:
+    """Rebuild a profile from :func:`profile_to_dict` output."""
+    return FuzzProfile(
+        name=str(doc["name"]),
+        params=tuple(doc["params"]),
+        dims=int(doc["dims"]),
+        statements=(int(doc["statements"][0]), int(doc["statements"][1])),
+        dependences=(int(doc["dependences"][0]), int(doc["dependences"][1])),
+        instances=tuple(
+            tuple((str(name), int(value)) for name, value in inst)
+            for inst in doc["instances"]
+        ),
+        description=str(doc.get("description", "")),
+    )
+
+
+def resolve_profile(profile: "str | FuzzProfile") -> FuzzProfile:
+    if isinstance(profile, FuzzProfile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise KeyError(
+            f"unknown fuzz profile {profile!r}; expected one of {sorted(PROFILES)}"
+        ) from None
+
+
+def random_program(seed: int, profile: "str | FuzzProfile" = "small") -> AffineProgram:
+    """The affine program of one fuzz case, reproducible from ``(seed, profile)``."""
+    profile = resolve_profile(profile)
+    if profile.name == "small":
+        return _random_program_small(seed)
+    return _random_program_structured(seed, profile)
+
+
+def fingerprint_for(seed: int, profile: "str | FuzzProfile" = "small") -> str:
+    """Stable fingerprint of the case's program (the determinism contract)."""
+    return program_fingerprint(random_program(seed, profile))
+
+
+def _random_program_small(seed: int) -> AffineProgram:
+    """The historical ``tests/rel`` generator, byte-for-byte.
+
+    The RNG call sequence (``sample`` then the implicit ``randint`` inside
+    it) must not change: existing sweep seeds are pinned to these programs.
+    """
+    rng = random.Random(seed)
+    deps = rng.sample(DEP_POOL_SMALL, rng.randint(2, 5))
+    builder = (
+        ProgramBuilder(f"rand{seed}", ["M", "N"])
+        .add_array("[N] -> { A[i] : 0 <= i < N }")
+        .add_statement("[M, N] -> { P[t, i] : 0 <= t < M and 0 <= i < N }", flops=1)
+        .add_statement("[M, N] -> { Q[t, i] : 0 <= t < M and 0 <= i < N }", flops=1)
+        .add_dependence("[M, N] -> { P[t, i] -> A[i] : t = 0 and 0 <= i < N }")
+        .add_dependence("[M, N] -> { Q[t, i] -> A[i] : t = 0 and 0 <= i < N }")
+    )
+    for dep in deps:
+        builder.add_dependence(dep.format())
+    return builder.build()
+
+
+def _random_program_structured(seed: int, profile: FuzzProfile) -> AffineProgram:
+    """Structured generation for the non-legacy profiles (wide/deep/custom)."""
+    rng = random.Random(f"repro-fuzz:{profile.name}:{seed}")
+    inner = _INNER_DIMS[: profile.dims - 1]
+    dims = ("t",) + tuple(inner)
+    params_header = "[" + ", ".join(profile.params) + "]"
+    size = profile.params[1] if len(profile.params) > 1 else profile.params[0]
+    time = profile.params[0]
+
+    count = rng.randint(*profile.statements)
+    names = [f"S{index}" for index in range(count)]
+    box = " and ".join(
+        [f"0 <= t < {time}"] + [f"0 <= {d} < {size}" for d in inner]
+    )
+
+    builder = ProgramBuilder(f"{profile.name}{seed}", list(profile.params))
+    builder.add_array(f"[{size}] -> {{ A[i] : 0 <= i < {size} }}")
+    for name in names:
+        builder.add_statement(
+            f"{params_header} -> {{ {name}[{', '.join(dims)}] : {box} }}", flops=1
+        )
+        # Every statement consumes the input array at t = 0, so the DFG has
+        # compulsory misses and every vertex family is anchored on an input.
+        builder.add_dependence(
+            f"{params_header} -> {{ {name}[{', '.join(dims)}] -> A[i] : t = 0 and {box} }}"
+        )
+
+    wanted = rng.randint(*profile.dependences)
+    seen: set[str] = set()
+    attempts = 0
+    while len(seen) < wanted and attempts < wanted * 12:
+        attempts += 1
+        relation = _random_dependence(rng, names, dims, inner, params_header, size, time)
+        if relation is None or relation in seen:
+            continue
+        seen.add(relation)
+        builder.add_dependence(relation)
+    return builder.build()
+
+
+def _random_dependence(
+    rng: random.Random,
+    names: list[str],
+    dims: tuple[str, ...],
+    inner: tuple[str, ...],
+    params_header: str,
+    size: str,
+    time: str,
+) -> str | None:
+    """One dependence drawn from the acyclic offset families (or None).
+
+    Families (``sink`` reads ``source``):
+
+    * ``back-t`` — any source, time steps back by one, each inner source
+      coordinate is the matching sink coordinate, ``0`` or ``size-1``;
+    * ``same-t`` — source strictly earlier in statement order, same time
+      step, inner coordinates as above (point-wise or broadcast);
+    * ``inner-chain`` — the statement reads itself one step back along one
+      inner dimension (the wavefront chain-circuit family).
+    """
+    sink_index = rng.randrange(len(names))
+    sink = names[sink_index]
+    kinds = ["back-t", "inner-chain"]
+    if sink_index > 0:
+        kinds.append("same-t")
+    kind = rng.choice(kinds)
+    guards = [f"0 <= t < {time}"] + [f"0 <= {d} < {size}" for d in inner]
+
+    if kind == "inner-chain":
+        stepped = rng.choice(inner)
+        coords = ["t"] + [f"{d} - 1" if d == stepped else d for d in inner]
+        guards = [f"0 <= t < {time}"] + [
+            f"1 <= {d} < {size}" if d == stepped else f"0 <= {d} < {size}"
+            for d in inner
+        ]
+        source = sink
+    elif kind == "same-t":
+        source = names[rng.randrange(sink_index)]
+        coords = ["t"] + [rng.choice([d, "0", f"{size} - 1"]) for d in inner]
+        if all(coord == dim for coord, dim in zip(coords, dims)):
+            return None  # identity read: not a meaningful dependence
+    else:  # back-t
+        source = names[rng.randrange(len(names))]
+        coords = ["t - 1"] + [rng.choice([d, "0", f"{size} - 1"]) for d in inner]
+        guards[0] = f"1 <= t < {time}"
+
+    head = f"{sink}[{', '.join(dims)}]"
+    image = f"{source}[{', '.join(coords)}]"
+    return f"{params_header} -> {{ {head} -> {image} : {' and '.join(guards)} }}"
+
+
+# -- reductions (program surgery used by the shrinker) ------------------------
+
+
+def _rebuild(
+    program: AffineProgram,
+    statements: Sequence[Statement],
+    dependences: Sequence[FlowDep],
+) -> AffineProgram:
+    return AffineProgram(
+        program.name,
+        program.params,
+        list(program.arrays.values()),
+        statements,
+        dependences,
+    )
+
+
+def delete_statement(program: AffineProgram, name: str) -> AffineProgram:
+    """The program without statement ``name`` and every dependence touching it."""
+    if name not in program.statements:
+        raise KeyError(f"no statement {name!r} in {program.name}")
+    statements = [s for s in program.statements.values() if s.name != name]
+    dependences = [
+        d for d in program.dependences if d.sink != name and d.source != name
+    ]
+    return _rebuild(program, statements, dependences)
+
+
+def delete_dependence(program: AffineProgram, label: str) -> AffineProgram:
+    """The program without the dependence carrying ``label``."""
+    dependences = [d for d in program.dependences if d.label != label]
+    if len(dependences) == len(program.dependences):
+        raise KeyError(f"no dependence labelled {label!r} in {program.name}")
+    return _rebuild(program, list(program.statements.values()), dependences)
+
+
+def delete_dimension(
+    program: AffineProgram, statement: str, dim: str
+) -> AffineProgram | None:
+    """The program with ``dim`` removed from ``statement``'s iteration space.
+
+    Dependences *into* the statement whose read function mentions the removed
+    dimension are dropped (their sink coordinate no longer exists); functions
+    *out of* the statement lose the matching target coordinate.  Returns
+    ``None`` when the reduction does not apply (unknown/last dimension, or
+    the surgery produces an invalid program).
+    """
+    stmt = program.statements.get(statement)
+    if stmt is None or dim not in stmt.dims or len(stmt.dims) <= 1:
+        return None
+    index = stmt.space.index_of(dim)
+    remaining = [d for d in stmt.dims if d != dim]
+    new_domain = stmt.domain.project_onto(remaining)
+    new_stmt = Statement(
+        stmt.name, new_domain, flops=stmt.flops, accesses=stmt.accesses
+    )
+
+    statements = [new_stmt if s.name == statement else s for s in program.statements.values()]
+    dependences: list[FlowDep] = []
+    try:
+        for dep in program.dependences:
+            function, domain = dep.function, dep.domain
+            if dep.sink == statement:
+                if any(expr.depends_on((dim,)) for expr in function.exprs):
+                    continue
+                function = AffineFunction(
+                    new_domain.space, function.target_tuple, function.exprs
+                )
+                domain = domain.project_onto(remaining)
+            if dep.source == statement:
+                exprs = [e for pos, e in enumerate(function.exprs) if pos != index]
+                if not exprs:
+                    continue
+                function = AffineFunction(
+                    function.domain_space, function.target_tuple, exprs
+                )
+            dependences.append(
+                FlowDep(dep.source, dep.sink, function, domain, label=dep.label)
+            )
+        return _rebuild(program, statements, dependences)
+    except (ValueError, KeyError):
+        return None
+
+
+#: JSON-serializable reduction ops: ``["statement", name]``,
+#: ``["dependence", label]`` or ``["dimension", statement, dim]``.
+ReductionOp = Sequence[str]
+
+
+def apply_reduction(
+    program: AffineProgram, reduction: Sequence[ReductionOp]
+) -> AffineProgram:
+    """Replay a recorded reduction (list of ops) on a regenerated program.
+
+    Raises :class:`ValueError` on a malformed op and :class:`KeyError` when
+    an op no longer applies — a corpus entry that drifted out of sync with
+    the generator should fail loudly, not silently check a different program.
+    """
+    for op in reduction:
+        op = list(op)
+        if len(op) == 2 and op[0] == "statement":
+            program = delete_statement(program, op[1])
+        elif len(op) == 2 and op[0] == "dependence":
+            program = delete_dependence(program, op[1])
+        elif len(op) == 3 and op[0] == "dimension":
+            reduced = delete_dimension(program, op[1], op[2])
+            if reduced is None:
+                raise KeyError(f"dimension reduction {op!r} no longer applies")
+            program = reduced
+        else:
+            raise ValueError(f"malformed reduction op {op!r}")
+    return program
+
+
+def case_program(
+    seed: int,
+    profile: "str | FuzzProfile" = "small",
+    reduction: Sequence[ReductionOp] = (),
+) -> AffineProgram:
+    """Regenerate the (possibly reduced) program of a corpus entry."""
+    return apply_reduction(random_program(seed, profile), reduction)

@@ -1,0 +1,125 @@
+"""``python -m repro fuzz`` surface: exit codes, JSON contract, replay gate.
+
+Exit-code contract: 0 = campaign clean / divergence fixed, 1 = divergence
+found / still reproduces, 2 = user error (malformed corpus entry, unknown
+names).  CI's replay round-trip and any bisecting developer rely on it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.fuzz import load_corpus_entry, run_campaign
+from repro.fuzz import oracles
+
+
+@pytest.fixture
+def planted_miscount(monkeypatch):
+    real = oracles._symbolic_statement_count
+
+    def bugged(program, statement, instance):
+        value = real(program, statement, instance)
+        return value + 1 if statement == "Q" else value
+
+    monkeypatch.setattr(oracles, "_symbolic_statement_count", bugged)
+    return monkeypatch
+
+
+class TestCampaignCommand:
+    def test_clean_campaign_exits_zero_with_summary(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--oracle", "counting"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cases [small]" in out and "0 failures" in out
+
+    def test_json_document_shape(self, capsys):
+        assert main([
+            "fuzz", "--seeds", "2", "--profile", "deep",
+            "--oracle", "counting", "--oracle", "store", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["profile"]["name"] == "deep"
+        assert document["oracles"] == ["counting", "store"]
+        assert document["cases"] == 2
+        assert len(document["verdicts"]) == 4
+
+    def test_failing_campaign_exits_one_and_writes_corpus(
+        self, planted_miscount, tmp_path, capsys
+    ):
+        corpus = tmp_path / "corpus"
+        assert main([
+            "fuzz", "--seeds", "1", "--seed-start", "2",
+            "--oracle", "counting", "--corpus", str(corpus),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL seed 2 counting" in out
+        entries = list(corpus.glob("*.json"))
+        assert len(entries) == 1
+
+    def test_seed_start_offsets_the_range(self, capsys):
+        assert main([
+            "fuzz", "--seeds", "1", "--seed-start", "7",
+            "--oracle", "counting", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["seeds"] == [7]
+
+    def test_unknown_profile_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--profile", "galactic"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_oracle_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--oracle", "astrology"])
+        assert excinfo.value.code == 2
+
+
+class TestReplayCommand:
+    def _write_entry(self, planted_miscount, tmp_path) -> str:
+        result = run_campaign(
+            [2], "small", oracles=["counting"], corpus_dir=tmp_path
+        )
+        return result.failures[0].corpus_path
+
+    def test_replay_exits_one_while_bug_reproduces(
+        self, planted_miscount, tmp_path, capsys
+    ):
+        path = self._write_entry(planted_miscount, tmp_path)
+        assert main(["fuzz", "--replay", path]) == 1
+        assert "still reproduces" in capsys.readouterr().out
+
+    def test_replay_exits_zero_once_fixed(self, planted_miscount, tmp_path, capsys):
+        path = self._write_entry(planted_miscount, tmp_path)
+        planted_miscount.undo()
+        assert main(["fuzz", "--replay", path]) == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+    def test_replay_json_document(self, planted_miscount, tmp_path, capsys):
+        path = self._write_entry(planted_miscount, tmp_path)
+        assert main(["fuzz", "--replay", path, "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["reproduced"] is True
+        assert document["fingerprint_matches"] is True
+        assert document["verdict"]["oracle"] == "counting"
+
+    def test_replay_of_malformed_file_is_a_user_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        assert main(["fuzz", "--replay", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_replay_entry_survives_corpus_relocation(
+        self, planted_miscount, tmp_path, capsys
+    ):
+        """Entries are self-contained: a copy replays without the original
+        corpus directory, generator state or campaign context."""
+        path = self._write_entry(planted_miscount, tmp_path)
+        moved = tmp_path / "elsewhere.json"
+        moved.write_text(open(path, encoding="utf-8").read())
+        entry = load_corpus_entry(moved)
+        assert entry["reduction"]
+        assert main(["fuzz", "--replay", str(moved)]) == 1

@@ -1,0 +1,194 @@
+"""Generator determinism and program-surgery contracts.
+
+The fuzzer's value rests on reproducibility: a corpus entry stores only
+``(seed, profile, reduction)``, so the generator must rebuild the exact same
+program forever — across processes, platforms and library versions.  The
+golden fingerprints below *are* that contract; they may only change together
+with a corpus schema bump.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.plan import program_fingerprint
+from repro.fuzz.generator import (
+    PROFILES,
+    apply_reduction,
+    case_program,
+    delete_dependence,
+    delete_dimension,
+    delete_statement,
+    fingerprint_for,
+    profile_from_dict,
+    profile_to_dict,
+    random_program,
+    resolve_profile,
+)
+
+#: The determinism contract: regenerating these (seed, profile) cases must
+#: reproduce these exact programs.  "small" seeds additionally lock parity
+#: with the historical tests/rel generator the profile was lifted from.
+GOLDEN_FINGERPRINTS = {
+    ("small", 0): "d692fa63ffd29b6030a83bcfb695e9f11125129da47c974b18eb9a1a0c36cba9",
+    ("small", 7): "381b2cd55ae532177d26276363338f3275f114cc81b70816c6dbdfe0333d14ef",
+    ("wide", 0): "650f15bfb0f60f03fadfd05d99f1e01be67a0fab406149a6727d1e2c25974ca7",
+    ("wide", 7): "cc3db84348d607137133b65974eb8892a043d27892c79e39d025a05b7c7c6e7c",
+    ("deep", 0): "02aa158721993f6e25a1bf54a7aa6e7802b1d9b40016742c1d495b99ee614a91",
+    ("deep", 7): "db98f164f717652888239aedf3e0c0abf894fb55a7acf8a7b6636c8c15d73f50",
+}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("profile,seed", sorted(GOLDEN_FINGERPRINTS))
+    def test_golden_fingerprints(self, profile, seed):
+        assert fingerprint_for(seed, profile) == GOLDEN_FINGERPRINTS[(profile, seed)]
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_same_seed_same_fingerprint_within_process(self, profile):
+        assert fingerprint_for(11, profile) == fingerprint_for(11, profile)
+
+    def test_fingerprints_stable_across_processes(self):
+        """A fresh interpreter reproduces the same programs (no dict-order,
+        hash-randomization or module-state dependence)."""
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        env["PYTHONHASHSEED"] = "random"
+        script = (
+            "from repro.fuzz.generator import fingerprint_for\n"
+            "for profile in ('small', 'wide', 'deep'):\n"
+            "    for seed in (0, 7):\n"
+            "        print(profile, seed, fingerprint_for(seed, profile))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        seen = {}
+        for line in output.splitlines():
+            profile, seed, fingerprint = line.split()
+            seen[(profile, int(seed))] = fingerprint
+        assert seen == GOLDEN_FINGERPRINTS
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_100_seed_sweep_distinct_fingerprints(self, profile):
+        fingerprints = [fingerprint_for(seed, profile) for seed in range(100)]
+        assert len(set(fingerprints)) == 100
+
+    def test_structural_diversity_not_just_names(self):
+        """Distinct fingerprints must come from distinct *structures*, not
+        merely the seed-bearing program name."""
+        shapes = {
+            tuple(sorted(dep.label for dep in random_program(seed, "wide").dependences))
+            for seed in range(40)
+        }
+        assert len(shapes) >= 30
+
+
+class TestSmallProfileParity:
+    """The "small" profile is the historical tests/rel generator, verbatim."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_shape(self, seed):
+        program = random_program(seed, "small")
+        assert program.name == f"rand{seed}"
+        assert sorted(program.statements) == ["P", "Q"]
+        assert set(program.params) == {"M", "N"}
+        labels = [dep.label for dep in program.dependences]
+        assert len(labels) == len(set(labels))
+        # Both statements always read A at t=0 (the base dependences).
+        assert sum(1 for dep in program.dependences if dep.source == "A") == 2
+
+    def test_dependence_count_range(self):
+        for seed in range(30):
+            sampled = len(random_program(seed, "small").dependences) - 2
+            assert 2 <= sampled <= 5
+
+
+class TestProfiles:
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown fuzz profile"):
+            resolve_profile("enormous")
+
+    def test_resolve_passes_through_instances(self):
+        profile = PROFILES["wide"]
+        assert resolve_profile(profile) is profile
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_dict_round_trip(self, name):
+        profile = PROFILES[name]
+        assert profile_from_dict(profile_to_dict(profile)) == profile
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_programs_are_valid_and_acyclic(self, name):
+        import networkx as nx
+
+        from repro.ir.cdag import CDAG
+
+        profile = PROFILES[name]
+        for seed in range(8):
+            program = random_program(seed, profile)
+            cdag = CDAG.expand(program, profile.instance_dicts()[0])
+            assert nx.is_directed_acyclic_graph(cdag.graph)
+
+
+class TestReductions:
+    def test_delete_statement_drops_its_dependences(self):
+        program = random_program(0, "small")
+        reduced = delete_statement(program, "P")
+        assert sorted(reduced.statements) == ["Q"]
+        assert all(
+            dep.sink != "P" and dep.source != "P" for dep in reduced.dependences
+        )
+
+    def test_delete_statement_unknown_raises(self):
+        with pytest.raises(KeyError):
+            delete_statement(random_program(0, "small"), "Z")
+
+    def test_delete_dependence_by_label(self):
+        program = random_program(0, "small")
+        label = program.dependences[-1].label
+        reduced = delete_dependence(program, label)
+        assert label not in [dep.label for dep in reduced.dependences]
+        with pytest.raises(KeyError):
+            delete_dependence(reduced, label)
+
+    def test_delete_dimension_projects_domain(self):
+        program = random_program(0, "small")
+        reduced = delete_dimension(program, "Q", "t")
+        assert reduced is not None
+        assert reduced.statements["Q"].dims == ("i",)
+
+    def test_delete_last_dimension_refused(self):
+        program = delete_dimension(random_program(0, "small"), "Q", "t")
+        assert delete_dimension(program, "Q", "i") is None
+
+    def test_apply_reduction_replays_ops_in_order(self):
+        program = random_program(0, "small")
+        label = next(d.label for d in program.dependences if d.sink == "Q")
+        reduction = [["statement", "P"], ["dependence", label]]
+        replayed = apply_reduction(random_program(0, "small"), reduction)
+        by_hand = delete_dependence(delete_statement(program, "P"), label)
+        assert program_fingerprint(replayed) == program_fingerprint(by_hand)
+
+    def test_apply_reduction_rejects_malformed_and_stale_ops(self):
+        program = random_program(0, "small")
+        with pytest.raises(ValueError):
+            apply_reduction(program, [["frobnicate", "P"]])
+        with pytest.raises(KeyError):
+            apply_reduction(program, [["statement", "P"], ["statement", "P"]])
+
+    def test_case_program_equals_manual_pipeline(self):
+        reduction = [["statement", "P"]]
+        case = case_program(5, "small", reduction)
+        manual = apply_reduction(random_program(5, "small"), reduction)
+        assert program_fingerprint(case) == program_fingerprint(manual)

@@ -1,0 +1,160 @@
+"""Campaign mechanics: detection, shrinking, corpus, replay, budgets.
+
+The centrepiece is the planted-bug regression demanded by the issue: a
+monkeypatched miscount in the counting oracle's symbolic side must be
+*caught* by a campaign, *shrunk* to a smaller program, *written* to the
+corpus as a replayable entry, and *reproduced* by replay until the bug is
+lifted — the full life of a real divergence, end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    CampaignResult,
+    load_corpus_entry,
+    replay_entry,
+    run_campaign,
+    shrink_case,
+)
+from repro.fuzz.generator import random_program
+from repro.fuzz.oracles import OracleContext
+from repro.fuzz import oracles, runner
+
+
+@pytest.fixture
+def planted_miscount(monkeypatch):
+    """Inflate the symbolic count of statement ``Q`` by one — a synthetic
+    counting bug only programs containing ``Q`` expose."""
+    real = oracles._symbolic_statement_count
+
+    def bugged(program, statement, instance):
+        value = real(program, statement, instance)
+        return value + 1 if statement == "Q" else value
+
+    monkeypatch.setattr(oracles, "_symbolic_statement_count", bugged)
+    return monkeypatch
+
+
+class TestCleanCampaign:
+    def test_streams_all_seeds_and_reports_ok(self):
+        result = run_campaign(range(3), "small", oracles=["counting", "store"])
+        assert isinstance(result, CampaignResult)
+        assert result.ok and result.completed == [0, 1, 2]
+        assert not result.stopped_early
+        assert result.checks > 0
+        assert len(result.verdicts) == 6  # 3 seeds x 2 oracles
+        json.dumps(result.to_dict())
+
+    def test_thread_executor_matches_serial(self):
+        serial = run_campaign(range(3), "small", oracles=["counting"])
+        threaded = run_campaign(
+            range(3), "small", oracles=["counting"], executor="thread", n_jobs=2
+        )
+        strip = lambda r: sorted(
+            (v["seed"], v["oracle"], v["ok"], v["checks"]) for v in r.verdicts
+        )
+        assert strip(serial) == strip(threaded)
+
+    def test_unknown_oracle_rejected_before_scheduling(self):
+        with pytest.raises(KeyError, match="unknown oracle"):
+            run_campaign(range(2), "small", oracles=["nope"])
+
+    def test_time_budget_stops_early_but_keeps_completed(self):
+        result = run_campaign(
+            range(200), "small", oracles=["counting"], time_budget=0.3
+        )
+        assert result.stopped_early
+        assert 0 < len(result.completed) < 200
+
+
+class TestPlantedBug:
+    def test_detect_shrink_corpus_replay(self, planted_miscount, tmp_path):
+        corpus = tmp_path / "corpus"
+        result = run_campaign(
+            [2], "small", oracles=["counting"], corpus_dir=corpus
+        )
+        assert not result.ok
+        failure = result.failures[0]
+        assert failure.oracle == "counting" and failure.seed == 2
+
+        # Shrunk: P and every dependence are irrelevant to the planted
+        # Q-miscount, so greedy deletion must strip them all.
+        assert failure.statements == ["Q"]
+        assert failure.dependences == []
+        assert failure.reduction  # a non-empty replayable op list
+
+        # Corpus entry: self-contained and loadable.
+        entry = load_corpus_entry(failure.corpus_path)
+        assert entry["seed"] == 2 and entry["oracle"] == "counting"
+        assert entry["divergence"]["kind"] == "count-mismatch"
+
+        # Replay while the bug is live: reproduces, fingerprint-verified.
+        outcome = replay_entry(entry)
+        assert outcome.reproduced and outcome.fingerprint_matches
+
+    def test_replay_goes_quiet_once_fixed(self, planted_miscount, tmp_path):
+        result = run_campaign(
+            [2], "small", oracles=["counting"], corpus_dir=tmp_path
+        )
+        entry = load_corpus_entry(result.failures[0].corpus_path)
+        planted_miscount.undo()
+        outcome = replay_entry(entry)
+        assert not outcome.reproduced and outcome.verdict.ok
+
+    def test_shrink_budget_caps_oracle_invocations(self, planted_miscount):
+        calls = 0
+        real = oracles.run_oracle
+
+        def counting_run(name, program, ctx):
+            nonlocal calls
+            calls += 1
+            return real(name, program, ctx)
+
+        planted_miscount.setattr(runner, "run_oracle", counting_run)
+        reduced, reduction = shrink_case(
+            random_program(2, "small"),
+            "counting",
+            OracleContext.for_case(2, "small"),
+            budget=3,
+        )
+        assert calls <= 3
+        # Budget exhausted early: at most the accepted steps are recorded.
+        assert len(reduction) <= 3
+
+    def test_no_shrink_keeps_original_program(self, planted_miscount, tmp_path):
+        result = run_campaign(
+            [2], "small", oracles=["counting"], corpus_dir=tmp_path, shrink=False
+        )
+        failure = result.failures[0]
+        assert failure.reduction == []
+        assert failure.statements == ["P", "Q"]
+
+
+class TestCorpusFormat:
+    def test_entries_are_schema_stamped_sorted_json(self, planted_miscount, tmp_path):
+        result = run_campaign([2], "small", oracles=["counting"], corpus_dir=tmp_path)
+        path = result.failures[0].corpus_path
+        raw = json.loads(open(path, encoding="utf-8").read())
+        assert raw["schema"] == 1 and raw["kind"] == "repro-fuzz-crash"
+        assert raw["profile_spec"]["name"] == "small"
+        assert raw["fingerprint"]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not-a-crash.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError, match="not a repro fuzz corpus entry"):
+            load_corpus_entry(path)
+
+    def test_load_rejects_unreadable_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_corpus_entry(tmp_path / "missing.json")
+
+    def test_load_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"kind": "repro-fuzz-crash", "schema": 99}))
+        with pytest.raises(ValueError, match="schema"):
+            load_corpus_entry(path)

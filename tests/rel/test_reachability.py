@@ -13,8 +13,6 @@ while the symbolic validator correctly rejects for all sizes.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
 from repro.core.wavefront import (
@@ -76,34 +74,10 @@ class TestPaperExamples:
 
 # -- random DFG soundness sweep ---------------------------------------------
 
-#: Dependence templates over two statements P/Q on [0,N) x [0,N) domains.
-_DEP_POOL = [
-    "[M, N] -> {{ P[t, i] -> P[t, i - 1] : 0 <= t < M and 1 <= i < N }}",
-    "[M, N] -> {{ P[t, i] -> P[t - 1, i] : 1 <= t < M and 0 <= i < N }}",
-    "[M, N] -> {{ Q[t, i] -> Q[t - 1, i] : 1 <= t < M and 0 <= i < N }}",
-    "[M, N] -> {{ Q[t, i] -> Q[t, i - 1] : 0 <= t < M and 1 <= i < N }}",
-    "[M, N] -> {{ Q[t, i] -> P[t, N - 1] : 0 <= t < M and 0 <= i < N }}",
-    "[M, N] -> {{ Q[t, i] -> P[t, i] : 0 <= t < M and 0 <= i < N }}",
-    "[M, N] -> {{ P[t, i] -> Q[t - 1, i] : 1 <= t < M and 0 <= i < N }}",
-    "[M, N] -> {{ P[t, i] -> Q[t - 1, N - 1] : 1 <= t < M and 0 <= i < N }}",
-    "[M, N] -> {{ P[t, i] -> Q[t - 1, 0] : 1 <= t < M and 0 <= i < N }}",
-]
-
-
-def random_program(seed: int):
-    rng = random.Random(seed)
-    deps = rng.sample(_DEP_POOL, rng.randint(2, 5))
-    builder = (
-        ProgramBuilder(f"rand{seed}", ["M", "N"])
-        .add_array("[N] -> { A[i] : 0 <= i < N }")
-        .add_statement("[M, N] -> { P[t, i] : 0 <= t < M and 0 <= i < N }", flops=1)
-        .add_statement("[M, N] -> { Q[t, i] : 0 <= t < M and 0 <= i < N }", flops=1)
-        .add_dependence("[M, N] -> { P[t, i] -> A[i] : t = 0 and 0 <= i < N }")
-        .add_dependence("[M, N] -> { Q[t, i] -> A[i] : t = 0 and 0 <= i < N }")
-    )
-    for dep in deps:
-        builder.add_dependence(dep.format())
-    return builder.build()
+# The seeded two-statement generator that historically lived here is now the
+# "small" profile of the first-class fuzzer — same seeds, same programs
+# (tests/fuzz/test_generator.py locks the fingerprints), one source of truth.
+from repro.fuzz.generator import random_program
 
 
 def assert_symbolic_sound_against_concrete(seed: int) -> None:
