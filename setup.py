@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-iolb",
-    version="1.8.0",
+    version="1.9.0",
     description=(
         "Reproduction of IOLB (PLDI 2020): automated parametric I/O "
         "lower bounds and operational-intensity upper bounds for affine programs"
@@ -34,6 +34,10 @@ setup(
         # Optional exact relation backend for the Algorithm-5 wavefront
         # validation (auto-selected by repro.rel when importable).
         "isl": ["islpy"],
+        # Optional set-algebra accelerators (auto-selected by
+        # repro.sets.backend when importable; REPRO_SETS_BACKEND overrides).
+        "fast": ["numpy"],
+        "jit": ["numpy", "numba"],
     },
     entry_points={
         "console_scripts": [

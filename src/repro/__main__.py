@@ -33,6 +33,14 @@ Subcommands
     drains in-flight requests before exiting.  A ``{"stats": true}``
     request reports uptime, in-flight requests and store statistics.
 
+``profile [--kernels ...] [--json] [--output FILE]``
+    Cold in-process derivation of the suite with wall-time attributed to the
+    set-algebra subsystems (:mod:`repro.perf`): prints the share of linear
+    algebra, Fourier-Motzkin, counting, closure and pebble simulation, plus
+    memo-cache hit rates.  Runs serially in-process (workers would keep
+    their own counters) and starts from cleared caches, so the numbers are
+    reproducible cold-path attributions.
+
 ``kernels [--json]``
     List the registered PolyBench kernels (``--json`` emits the
     machine-readable registry document service clients discover workloads
@@ -80,7 +88,7 @@ from .analysis import (
 )
 from .analysis.executor import EXECUTOR_NAMES
 from .core.wavefront import VALIDATION_MODES
-from .polybench import all_kernels, analyze_suite_stream, get_kernel, kernel_names
+from .polybench import all_kernels, analyze_suite, analyze_suite_stream, get_kernel, kernel_names
 from .upper import tightness_report
 
 
@@ -259,6 +267,56 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from . import perf
+    from .sets import memo as sets_memo
+    from .sets.backend import get_backend
+
+    names = args.kernels if args.kernels else kernel_names()
+    unknown = sorted(set(names) - set(kernel_names()))
+    if unknown:
+        raise SystemExit(f"unknown kernels: {unknown}; see `python -m repro kernels`")
+
+    # A cold, serial, in-process run: no persistent store, no worker
+    # processes (process-pool workers keep their own counters, which would
+    # leave the attribution table empty — see repro.perf).
+    perf.reset()
+    sets_memo.clear_all()
+    start = time.perf_counter()
+    analyze_suite(names, store=None, executor="serial")
+    wall = time.perf_counter() - start
+    snapshot = perf.snapshot()
+    backend = get_backend().name
+    memo_state = "on" if sets_memo.memo_enabled() else "off"
+
+    if args.json:
+        payload = {
+            "kernels": list(names),
+            "wall_s": wall,
+            "backend": backend,
+            "memo": sets_memo.memo_enabled(),
+            **snapshot.to_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    header = (
+        f"cold derivation of {len(names)} kernel(s) in {wall:.2f}s "
+        f"(set backend: {backend}, memo: {memo_state})"
+    )
+    table = snapshot.format_table(wall)
+    print(header)
+    print()
+    print(table)
+    if args.output is not None:
+        with open(args.output, "w") as stream:
+            stream.write(header + "\n\n" + table + "\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     names = args.kernels if args.kernels else kernel_names()
     unknown = sorted(set(names) - set(kernel_names()))
@@ -354,6 +412,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import load_corpus_entry, replay_entry, run_campaign
 
+    if getattr(args, "perf", False):
+        from . import perf
+
+        perf.reset()
+
     if args.replay is not None:
         entry = load_corpus_entry(args.replay)
         outcome = replay_entry(entry)
@@ -385,7 +448,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         log=None if args.json else print,
     )
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        payload = result.to_dict()
+        if getattr(args, "perf", False):
+            from . import perf
+
+            payload["perf"] = perf.snapshot().to_dict()
+        print(json.dumps(payload, indent=2))
     else:
         cases, failures = len(result.completed), len(result.failures)
         tail = " (stopped early: time budget)" if result.stopped_early else ""
@@ -400,6 +468,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 f"  FAIL seed {failure.seed} {failure.oracle}: "
                 f"{failure.verdict.details}{where}"
             )
+    if getattr(args, "perf", False) and not args.json:
+        from . import perf
+
+        # Process-pool workers keep their own counters; the table reflects
+        # in-process work (serial or thread campaigns attribute everything).
+        print("\nper-subsystem attribution (this process):")
+        print(perf.snapshot().format_table())
     return 0 if result.ok else 1
 
 
@@ -533,6 +608,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(handler=_cmd_report)
 
+    profile = commands.add_parser(
+        "profile",
+        help="cold in-process suite run with wall-time attribution by subsystem",
+    )
+    profile.add_argument(
+        "--kernels", nargs="+", default=None, metavar="NAME",
+        help="kernel subset (default: the whole suite)",
+    )
+    profile.add_argument("--json", action="store_true",
+                         help="emit timings and memo counters as JSON on stdout")
+    profile.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the attribution table to FILE",
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
     kernels = commands.add_parser("kernels", help="list registered kernels")
     kernels.add_argument(
         "--json", action="store_true",
@@ -619,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="parallel workers for the campaign executor")
     fuzz.add_argument("--json", action="store_true",
                       help="emit the campaign (or replay) result as JSON on stdout")
+    fuzz.add_argument(
+        "--perf", action="store_true",
+        help="print (or embed in --json) the per-subsystem wall-time "
+             "attribution of the campaign",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     cache = commands.add_parser("cache", help="maintain the persistent bound store")

@@ -13,10 +13,28 @@ hashable, which makes them usable as dictionary keys and safe to share.
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd, lcm
 from typing import Iterable, Sequence
+
+from .. import perf
+from ..sets.memo import MemoCache, memo_enabled, register
 
 Row = tuple[Fraction, ...]
 Matrix = tuple[Row, ...]
+
+_ZERO = Fraction(0)
+
+# Shared immutable Fraction objects for small integers: the fraction-free
+# RREF converts ~10^6 integer entries back to Fractions per suite run, and
+# almost all of them are small.
+_SMALL_RANGE = 128
+_SMALL_FRACTIONS = tuple(Fraction(i - _SMALL_RANGE) for i in range(2 * _SMALL_RANGE + 1))
+
+# Matrices are immutable and hashable, so RREF / nullspace results are
+# memoised under the matrix itself (see repro.sets.memo for the key
+# discipline; REPRO_SETS_MEMO=0 disables these caches too).
+_RREF_CACHE = register(MemoCache("linalg.rref"))
+_NULLSPACE_CACHE = register(MemoCache("linalg.nullspace"))
 
 
 def to_fraction_matrix(rows: Iterable[Sequence]) -> Matrix:
@@ -24,7 +42,7 @@ def to_fraction_matrix(rows: Iterable[Sequence]) -> Matrix:
     out = []
     width = None
     for row in rows:
-        frow = tuple(Fraction(x) for x in row)
+        frow = tuple(x if type(x) is Fraction else Fraction(x) for x in row)
         if width is None:
             width = len(frow)
         elif len(frow) != width:
@@ -73,14 +91,45 @@ def transpose(a: Matrix) -> Matrix:
     return tuple(tuple(a[i][j] for i in range(len(a))) for j in range(len(a[0])))
 
 
+def _matrix_key(a: Matrix) -> tuple:
+    """Cheap memo key: ``(numerator, denominator)`` int pairs.
+
+    Keying on the Fraction matrix itself would pay ``Fraction.__hash__`` —
+    a modular inverse — per entry per lookup; int tuples hash for free.
+    """
+    return tuple(tuple((x.numerator, x.denominator) for x in row) for row in a)
+
+
+@perf.timed("linalg")
 def rref(a: Matrix) -> tuple[Matrix, list[int]]:
-    """Reduced row echelon form.
+    """Reduced row echelon form (memoised).
 
     Returns the reduced matrix together with the list of pivot column indices.
     """
+    if not memo_enabled():
+        reduced, pivots = _rref_uncached(a)
+        return reduced, list(pivots)
+    reduced, pivots = _RREF_CACHE.get_or_compute(_matrix_key(a), lambda: _rref_uncached(a))
+    return reduced, list(pivots)
+
+
+def _fraction_free_enabled() -> bool:
+    from ..sets.backend import get_backend
+
+    return getattr(get_backend(), "fraction_free_rref", False)
+
+
+def _rref_uncached(a: Matrix) -> tuple[Matrix, tuple[int, ...]]:
+    if not a:
+        return tuple(), ()
+    if _fraction_free_enabled():
+        return _rref_fraction_free(a)
+    return _rref_reference(a)
+
+
+def _rref_reference(a: Matrix) -> tuple[Matrix, tuple[int, ...]]:
+    """Textbook Gauss-Jordan over ``Fraction`` — the semantic reference."""
     rows = [list(r) for r in a]
-    if not rows:
-        return tuple(), []
     n_rows, n_cols = len(rows), len(rows[0])
     pivots: list[int] = []
     r = 0
@@ -103,7 +152,69 @@ def rref(a: Matrix) -> tuple[Matrix, list[int]]:
                 rows[i] = [rows[i][j] - factor * rows[r][j] for j in range(n_cols)]
         pivots.append(c)
         r += 1
-    return tuple(tuple(row) for row in rows), pivots
+    return tuple(tuple(row) for row in rows), tuple(pivots)
+
+
+def _rref_fraction_free(a: Matrix) -> tuple[Matrix, tuple[int, ...]]:
+    # The RREF of a matrix is invariant under scaling rows by non-zero
+    # constants (the row space and row count are unchanged), so every input
+    # can be reduced over the integers: clear each row's denominators, run
+    # fraction-free Gauss-Jordan on machine/big ints — far cheaper than
+    # Fraction arithmetic, which pays a gcd per operation — and divide by
+    # the pivot only when converting the result back to Fractions.
+    rows: list[list[int]] = []
+    for row in a:
+        den = 1
+        for x in row:
+            den = lcm(den, x.denominator)
+        rows.append([x.numerator * (den // x.denominator) for x in row])
+    n_rows, n_cols = len(rows), len(rows[0])
+    pivots: list[int] = []
+    r = 0
+    for c in range(n_cols):
+        if r >= n_rows:
+            break
+        pivot_row = None
+        for i in range(r, n_rows):
+            if rows[i][c]:
+                pivot_row = i
+                break
+        if pivot_row is None:
+            continue
+        rows[r], rows[pivot_row] = rows[pivot_row], rows[r]
+        prow = rows[r]
+        pivot_val = prow[c]
+        for i in range(n_rows):
+            if i != r and rows[i][c]:
+                factor = rows[i][c]
+                combined = [x * pivot_val - factor * y for x, y in zip(rows[i], prow)]
+                g = gcd(*combined)
+                rows[i] = [x // g for x in combined] if g > 1 else combined
+        pivots.append(c)
+        r += 1
+    reduced = []
+    for i, row in enumerate(rows):
+        if i < len(pivots):
+            pivot_val = row[pivots[i]]
+            if pivot_val == 1:
+                # Integer entries: use the shared small-Fraction table.
+                reduced.append(
+                    tuple(
+                        _SMALL_FRACTIONS[x + _SMALL_RANGE]
+                        if -_SMALL_RANGE <= x <= _SMALL_RANGE
+                        else Fraction(x)
+                        for x in row
+                    )
+                )
+            else:
+                reduced.append(tuple(Fraction(x, pivot_val) for x in row))
+        else:
+            # Non-pivot rows are identically zero: they are zero at every
+            # pivot column (eliminated) and at every skipped column (all
+            # candidate rows were zero there when the column was skipped,
+            # and row combinations preserve that).
+            reduced.append(tuple(_ZERO for _ in row))
+    return tuple(reduced), tuple(pivots)
 
 
 def rank(a: Matrix) -> int:
@@ -112,11 +223,20 @@ def rank(a: Matrix) -> int:
     return len(pivots)
 
 
+@perf.timed("linalg")
 def nullspace(a: Matrix) -> list[Row]:
-    """Basis of the right null space {x : a @ x = 0} over Q.
+    """Basis of the right null space {x : a @ x = 0} over Q (memoised).
 
     Returns a (possibly empty) list of basis vectors.
     """
+    if not memo_enabled():
+        return _nullspace_uncached(a)
+    return list(
+        _NULLSPACE_CACHE.get_or_compute(_matrix_key(a), lambda: tuple(_nullspace_uncached(a)))
+    )
+
+
+def _nullspace_uncached(a: Matrix) -> list[Row]:
     if not a:
         return []
     n_cols = len(a[0])

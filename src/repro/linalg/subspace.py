@@ -14,13 +14,20 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from .. import perf
+from ..sets.memo import MemoCache, memo_enabled, register
 from .rational import Matrix, Row, nullspace, rank, rref, to_fraction_matrix
+
+# Sum / intersection results keyed on the (order-normalised) operand bases.
+# Subspaces are immutable and canonical, so sharing result objects is safe
+# and both operations are symmetric up to canonicalisation.
+_PAIR_CACHE = register(MemoCache("linalg.subspace_ops"))
 
 
 class Subspace:
     """A linear subspace of Q^d, canonically represented by an RREF basis."""
 
-    __slots__ = ("dim_ambient", "basis")
+    __slots__ = ("dim_ambient", "basis", "_key", "_hash")
 
     def __init__(self, dim_ambient: int, vectors: Iterable[Sequence] = ()):
         self.dim_ambient = dim_ambient
@@ -32,6 +39,8 @@ class Subspace:
                 )
         reduced, pivots = rref(matrix)
         self.basis: tuple[Row, ...] = tuple(reduced[i] for i in range(len(pivots)))
+        self._key: tuple | None = None
+        self._hash: int | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -84,18 +93,57 @@ class Subspace:
 
     # -- lattice operations ------------------------------------------------
 
-    def sum(self, other: "Subspace") -> "Subspace":
-        """Subspace sum (join): span of the union of both bases."""
-        self._check_ambient(other)
-        return Subspace(self.dim_ambient, list(self.basis) + list(other.basis))
+    def content_key(self) -> tuple:
+        """Cheap memo key: ambient dimension plus ``(numerator, denominator)``
+        int pairs of the canonical basis.
 
+        Fraction hashing computes a modular inverse per entry, so keying the
+        subspace caches on the basis itself dominated cache lookups; int
+        tuples hash for free.  The key is cached on the object (it is frozen
+        after construction), except under ``REPRO_SETS_MEMO=0``.
+        """
+        key = self._key
+        if key is None:
+            key = (
+                self.dim_ambient,
+                tuple(tuple((x.numerator, x.denominator) for x in row) for row in self.basis),
+            )
+            if memo_enabled():
+                self._key = key
+        return key
+
+    @perf.timed("linalg")
+    def sum(self, other: "Subspace") -> "Subspace":
+        """Subspace sum (join): span of the union of both bases (memoised)."""
+        self._check_ambient(other)
+        if not memo_enabled():
+            return Subspace(self.dim_ambient, list(self.basis) + list(other.basis))
+        ka, kb = self.content_key(), other.content_key()
+        if kb < ka:
+            ka, kb = kb, ka
+        return _PAIR_CACHE.get_or_compute(
+            ("sum", ka, kb),
+            lambda: Subspace(self.dim_ambient, list(self.basis) + list(other.basis)),
+        )
+
+    @perf.timed("linalg")
     def intersection(self, other: "Subspace") -> "Subspace":
         """Subspace intersection (meet), via the Zassenhaus-style kernel trick.
 
         x in U cap W  <=>  x = sum a_i u_i = sum b_j w_j, i.e. the coefficient
         vector (a, b) lies in the kernel of the stacked matrix [U^T | -W^T].
+        Results are memoised; both bases are canonical, so the result is one
+        shared canonical object per unordered operand pair.
         """
         self._check_ambient(other)
+        if not memo_enabled():
+            return self._intersection_uncached(other)
+        ka, kb = self.content_key(), other.content_key()
+        if kb < ka:
+            ka, kb = kb, ka
+        return _PAIR_CACHE.get_or_compute(("cap", ka, kb), lambda: self._intersection_uncached(other))
+
+    def _intersection_uncached(self, other: "Subspace") -> "Subspace":
         if self.is_zero() or other.is_zero():
             return Subspace.zero(self.dim_ambient)
         n = self.dim_ambient
@@ -135,7 +183,12 @@ class Subspace:
         return self.dim_ambient == other.dim_ambient and self.basis == other.basis
 
     def __hash__(self) -> int:
-        return hash((self.dim_ambient, self.basis))
+        h = self._hash
+        if h is None:
+            h = hash(self.content_key())
+            if memo_enabled():
+                self._hash = h
+        return h
 
     def __repr__(self) -> str:
         rows = ", ".join(

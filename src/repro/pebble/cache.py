@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from ..ir import CDAG, Vertex
 from .game import GameState, Move
 
+from .. import perf
+
 
 @dataclass
 class SimulationResult:
@@ -95,6 +97,7 @@ class _BeladyPolicy(_ReplacementPolicy):
         return best_vertex
 
 
+@perf.timed("pebble-sim")
 def simulate_schedule(
     cdag: CDAG,
     schedule: list[Vertex],

@@ -43,6 +43,7 @@ from fractions import Fraction
 from typing import Iterable, Sequence
 
 from ..sets import EQ, GE, BasicSet, Constraint, EliminationError, LinExpr, Space
+from .. import perf
 from .relation import (
     MAX_PIECE_CONSTRAINTS,
     AffineRelation,
@@ -235,6 +236,7 @@ def _saturate(
     return ClosureResult(truncated, False, MAX_SATURATION_ROUNDS)
 
 
+@perf.timed("rel-closure")
 def transitive_closure(
     relation: AffineRelation,
     context: Sequence[Constraint] = (),
@@ -422,6 +424,7 @@ def _saturate_paths(
     return paths, False
 
 
+@perf.timed("rel-closure")
 def graph_reachability(
     edges: Iterable[AffineRelation],
     source: str,
@@ -446,6 +449,7 @@ def graph_reachability(
     return ClosureResult(result, fixpoint and edge_exact and result.exact)
 
 
+@perf.timed("rel-closure")
 def check_universal_reachability(
     edges: Iterable[AffineRelation],
     target_relation: AffineRelation,

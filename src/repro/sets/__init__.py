@@ -15,7 +15,9 @@ barvinok and PET in the original C implementation:
 
 from .affine import LinExpr
 from .affine_map import AffineFunction
+from .backend import BACKEND_ENV, get_backend, numba_available, numpy_available
 from .basic_set import EQ, GE, BasicSet, Constraint
+from .memo import MEMO_ENV, memo_enabled
 from .counting import CountingError, card, card_at, card_basic, card_upper, lin_to_sympy, sym
 from .fourier_motzkin import (
     EliminationError,
@@ -30,8 +32,10 @@ from .pset import ParamSet
 from .space import Space
 
 __all__ = [
+    "BACKEND_ENV",
     "EQ",
     "GE",
+    "MEMO_ENV",
     "AffineFunction",
     "BasicSet",
     "Constraint",
@@ -42,6 +46,10 @@ __all__ = [
     "ParseError",
     "Space",
     "basic_set_is_empty",
+    "get_backend",
+    "memo_enabled",
+    "numba_available",
+    "numpy_available",
     "card",
     "card_at",
     "card_basic",

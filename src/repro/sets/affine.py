@@ -130,20 +130,23 @@ class LinExpr:
 
     def scaled_to_integers(self) -> "LinExpr":
         """Multiply by the positive rational that makes all coefficients integral
-        and divides out the common factor."""
+        and divides out the common factor.
+
+        Returns ``self`` (not a copy) when the expression is already in
+        canonical form, so callers can cheaply detect idempotence.
+        """
         values = list(self.coeffs.values()) + [self.const]
         denominators = 1
         for value in values:
             denominators = denominators * value.denominator // gcd(denominators, value.denominator)
-        scaled = self * denominators
-        numerators = [abs(int(v)) for v in list(scaled.coeffs.values()) + [scaled.const] if v != 0]
-        if numerators:
-            common = 0
-            for value in numerators:
-                common = gcd(common, value)
-            if common > 1:
-                scaled = scaled * Fraction(1, common)
-        return scaled
+        numerators = [abs(int(v * denominators)) for v in values if v != 0]
+        common = 0
+        for value in numerators:
+            common = gcd(common, value)
+        if denominators == 1 and common <= 1:
+            return self
+        scale = Fraction(denominators, common) if common > 1 else Fraction(denominators)
+        return self * scale
 
     def __repr__(self) -> str:
         parts = []

@@ -3,19 +3,39 @@
 A :class:`BasicSet` is the analogue of an ISL ``basic_set``: the set of
 integer points of a parametric polyhedron, described by equalities and
 inequalities over the space's dimensions and parameters.
+
+Constraints are immutable, and the hot path (Fourier-Motzkin elimination,
+emptiness, counting) re-canonicalises the same constraint objects over and
+over — so canonicalisation is computed once and cached on the frozen
+object, and canonical constraints are *interned*: structurally equal
+constraints share one object, which makes repeated normalisation free and
+gives structurally equal sets identical content fingerprints.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from fractions import Fraction
+from hashlib import blake2b
 from typing import Iterable, Mapping, Sequence
 
+from .. import perf
 from .affine import LinExpr
+from .memo import memo_enabled as _memo_enabled_fn
 from .space import Space
 
 EQ = "eq"   # expr == 0
 GE = "ge"   # expr >= 0
+
+# Interning table for canonical constraints: canonical key -> Constraint.
+_intern_lock = threading.Lock()
+_intern_table: dict = {}
+_INTERN_MAX = 1 << 17
+
+
+def _memo_enabled() -> bool:
+    return _memo_enabled_fn()
 
 
 @dataclass(frozen=True)
@@ -29,9 +49,37 @@ class Constraint:
         if self.kind not in (EQ, GE):
             raise ValueError(f"unknown constraint kind {self.kind!r}")
 
+    def key(self) -> tuple:
+        """Canonical content key: ``(kind, sorted coeffs, const)``.
+
+        Computed once and cached on the frozen object; used for dedup,
+        interning and memo keys.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = (self.kind, tuple(sorted(self.expr.coeffs.items())), self.expr.const)
+            if _memo_enabled():
+                object.__setattr__(self, "_key", cached)
+        return cached
+
     def normalized(self) -> "Constraint":
-        """Scale coefficients to coprime integers (direction preserved)."""
-        return Constraint(self.expr.scaled_to_integers(), self.kind)
+        """Scale coefficients to coprime integers (direction preserved).
+
+        The result is cached on the object and interned so structurally
+        equal canonical constraints are one shared object.  With
+        ``REPRO_SETS_MEMO=0`` caching and interning are bypassed (the
+        benchmark's faithful pre-memoisation reference path).
+        """
+        cached = self.__dict__.get("_normalized")
+        if cached is not None:
+            return cached
+        if not _memo_enabled():
+            return Constraint(self.expr.scaled_to_integers(), self.kind)
+        scaled = self.expr.scaled_to_integers()
+        normalized = self if scaled is self.expr else Constraint(scaled, self.kind)
+        normalized = _intern(normalized)
+        object.__setattr__(self, "_normalized", normalized)
+        return normalized
 
     def is_trivially_true(self) -> bool:
         expr = self.expr
@@ -57,10 +105,32 @@ class Constraint:
         return f"{self.expr!r} {op} 0"
 
 
+def _intern(constraint: Constraint) -> Constraint:
+    """Return the one shared instance of a canonical constraint."""
+    key = constraint.key()
+    with _intern_lock:
+        existing = _intern_table.get(key)
+        if existing is not None:
+            return existing
+        if len(_intern_table) >= _INTERN_MAX:
+            _intern_table.clear()
+        # A canonical constraint is its own normal form.
+        if "_normalized" not in constraint.__dict__:
+            object.__setattr__(constraint, "_normalized", constraint)
+        _intern_table[key] = constraint
+        return constraint
+
+
+def interned_count() -> int:
+    """Number of canonical constraints currently interned (diagnostics)."""
+    with _intern_lock:
+        return len(_intern_table)
+
+
 class BasicSet:
     """Integer points of a parametric polyhedron over a named space."""
 
-    __slots__ = ("space", "constraints")
+    __slots__ = ("space", "constraints", "_fingerprint")
 
     def __init__(self, space: Space, constraints: Iterable[Constraint] = ()):
         self.space = space
@@ -70,12 +140,13 @@ class BasicSet:
             constraint = constraint.normalized()
             if constraint.is_trivially_true():
                 continue
-            key = (constraint.kind, tuple(sorted(constraint.expr.coeffs.items())), constraint.expr.const)
+            key = constraint.key()
             if key in seen:
                 continue
             seen.add(key)
             normalized.append(constraint)
         self.constraints: tuple[Constraint, ...] = tuple(normalized)
+        self._fingerprint: str | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -97,6 +168,26 @@ class BasicSet:
             constraints.append(Constraint(dim_expr - lo, GE))
             constraints.append(Constraint(_as_lin(hi) - dim_expr, GE))
         return cls(space, constraints)
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of the canonical form (space + constraints).
+
+        Structurally equal sets — same space, same canonical constraints in
+        the same order — share a fingerprint regardless of how they were
+        built.  This is the memo key used by the emptiness / projection /
+        simplification caches.
+        """
+        cached = self._fingerprint
+        if cached is None:
+            digest = blake2b(digest_size=16)
+            space = self.space
+            digest.update(repr((space.tuple_name, space.dims, space.params)).encode())
+            for constraint in self.constraints:
+                digest.update(repr(constraint.key()).encode())
+            cached = self._fingerprint = digest.hexdigest()
+        return cached
 
     # -- queries -----------------------------------------------------------
 
@@ -150,8 +241,60 @@ class BasicSet:
         space = self.space.with_params(extra_params)
         return BasicSet(space, self.constraints + (Constraint(expr, EQ),))
 
+    def simplify(self) -> "BasicSet":
+        """Drop syntactically redundant constraints (memoised).
+
+        Removes GE constraints dominated by another GE with the same
+        coefficient vector (only the tightest constant survives) and GE
+        constraints implied by an equality over the same coefficients.
+        This is purely syntactic — the represented set is unchanged.
+        """
+        from . import memo
+
+        return memo.SIMPLIFY_CACHE.get_or_compute(
+            ("simplify", self.fingerprint()), self._simplify_uncached
+        )
+
+    def _simplify_uncached(self) -> "BasicSet":
+        equality_coeffs = {
+            tuple(sorted(c.expr.coeffs.items())) for c in self.constraints if c.kind == EQ
+        }
+        tightest: dict[tuple, Fraction] = {}
+        for constraint in self.constraints:
+            if constraint.kind != GE:
+                continue
+            coeffs = tuple(sorted(constraint.expr.coeffs.items()))
+            const = constraint.expr.const
+            best = tightest.get(coeffs)
+            if best is None or const < best:
+                tightest[coeffs] = const
+        kept = []
+        for constraint in self.constraints:
+            if constraint.kind == GE:
+                coeffs = tuple(sorted(constraint.expr.coeffs.items()))
+                if constraint.expr.const != tightest.get(coeffs):
+                    continue
+                if coeffs in equality_coeffs and not constraint.is_trivially_false():
+                    # c.x + d >= 0 with c.x + e == 0 present: implied iff d >= e
+                    # in general; only drop the exact-match redundancy (d such
+                    # that the equality forces it), keeping the conservative
+                    # syntactic rule: same coeffs as an equality -> implied
+                    # when substituting the equality makes it constant >= 0.
+                    eq_const = next(
+                        c.expr.const
+                        for c in self.constraints
+                        if c.kind == EQ and tuple(sorted(c.expr.coeffs.items())) == coeffs
+                    )
+                    if constraint.expr.const - eq_const >= 0:
+                        continue
+            kept.append(constraint)
+        if len(kept) == len(self.constraints):
+            return self
+        return BasicSet(self.space, kept)
+
     # -- enumeration (for concrete parameter values) -------------------------
 
+    @perf.timed("sets")
     def enumerate_points(self, params: Mapping[str, int], bound: int = 2000) -> list[tuple[int, ...]]:
         """Enumerate all integer points for concrete parameter values.
 
@@ -160,7 +303,22 @@ class BasicSet:
         all constraints whose *other* dimensions are already fixed, which keeps
         the search tight even when bounds couple several dimensions.  The
         ``bound`` argument caps any dimension that remains unbounded.
+
+        The active set backend (``REPRO_SETS_BACKEND``) may vectorise the
+        enumeration; every backend produces the identical point sequence
+        (ascending lexicographic in the internal assignment order).
         """
+        from .backend import get_backend
+
+        points = get_backend().enumerate_points(self, params, bound)
+        if points is not None:
+            return points
+        return self.enumerate_points_pure(params, bound)
+
+    def enumerate_points_pure(
+        self, params: Mapping[str, int], bound: int = 2000
+    ) -> list[tuple[int, ...]]:
+        """Reference pure-Python enumeration (always available)."""
         dims = self.space.dims
         points: list[tuple[int, ...]] = []
 

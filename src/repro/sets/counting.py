@@ -23,6 +23,7 @@ import sympy
 
 from .affine import LinExpr
 from .basic_set import EQ, GE, BasicSet, Constraint
+from .. import perf
 from .fourier_motzkin import is_rationally_empty
 from .pset import ParamSet
 
@@ -53,6 +54,7 @@ def lin_to_sympy(expr: LinExpr) -> sympy.Expr:
     return result
 
 
+@perf.timed("counting")
 def card(pset: ParamSet | BasicSet) -> sympy.Expr:
     """Exact symbolic cardinality (large-parameter regime)."""
     if isinstance(pset, BasicSet):
@@ -67,6 +69,7 @@ def card(pset: ParamSet | BasicSet) -> sympy.Expr:
     return _inclusion_exclusion(pieces)
 
 
+@perf.timed("counting")
 def card_upper(pset: ParamSet | BasicSet) -> sympy.Expr:
     """Upper bound on the cardinality: the sum of the piece cardinalities.
 
@@ -103,6 +106,7 @@ def _inclusion_exclusion(pieces: Sequence[BasicSet]) -> sympy.Expr:
     return sympy.expand(total)
 
 
+@perf.timed("counting")
 def card_basic(basic: BasicSet) -> sympy.Expr:
     """Exact symbolic cardinality of one basic set."""
     if basic.has_trivially_false_constraint():
@@ -111,6 +115,7 @@ def card_basic(basic: BasicSet) -> sympy.Expr:
     return sympy.expand(_count(constraints, dims, sympy.Integer(1), 0, ()))
 
 
+@perf.timed("counting")
 def card_at(pset: ParamSet | BasicSet, params: dict[str, int]) -> int:
     """Concrete cardinality by enumeration (ground truth for tests)."""
     if isinstance(pset, BasicSet):

@@ -9,6 +9,12 @@ independence / interference tests of the IOLB algorithms.  All uses in
 * the rational projection over-approximates the integer projection (used for
   In-sets, sources and may-spill sets, all of which may safely be
   over-approximated — see DESIGN.md).
+
+Performance: the pair-combination inner loop dispatches to the active set
+backend (``REPRO_SETS_BACKEND`` — see :mod:`repro.sets.backend`), and the
+module-level queries are memoised under content keys
+(:mod:`repro.sets.memo`); both layers are exact — identical constraints in
+identical order — so results are byte-for-byte those of the pure path.
 """
 
 from __future__ import annotations
@@ -16,7 +22,10 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from .. import perf
+from . import memo
 from .affine import LinExpr
+from .backend import get_backend
 from .basic_set import EQ, GE, BasicSet, Constraint
 
 MAX_CONSTRAINTS = 2000
@@ -26,6 +35,7 @@ class EliminationError(Exception):
     """Raised when elimination blows up beyond the configured limits."""
 
 
+@perf.timed("fm")
 def eliminate_variable(constraints: Sequence[Constraint], name: str) -> list[Constraint]:
     """Eliminate one variable from a conjunction of constraints.
 
@@ -73,19 +83,25 @@ def eliminate_variable(constraints: Sequence[Constraint], name: str) -> list[Con
             else:
                 upper.append((pair_coeff, pair_rest))
 
-    result = list(others)
-    for lo_coeff, lo_rest in lower:
-        for up_coeff, up_rest in upper:
-            # lo: a*x + r1 >= 0 (a>0)  =>  x >= -r1/a
-            # up: b*x + r2 >= 0 (b<0)  =>  x <= -r2/b = r2/|b|
-            # combination: -r1/a <= r2/|b|  =>  |b|*r1 + a*r2 >= 0 ... careful with signs
-            combined = lo_rest * (-up_coeff) + up_rest * lo_coeff
-            result.append(Constraint(combined, GE))
-            if len(result) > MAX_CONSTRAINTS:
-                raise EliminationError("Fourier-Motzkin blow-up")
+    if len(others) + len(lower) * len(upper) > MAX_CONSTRAINTS:
+        raise EliminationError("Fourier-Motzkin blow-up")
+
+    combined = get_backend().fm_combine(lower, upper)
+    if combined is None:
+        # Reference pair-combination loop (also the exactness oracle for
+        # every backend — see tests/sets/test_backends.py).
+        combined = []
+        for lo_coeff, lo_rest in lower:
+            for up_coeff, up_rest in upper:
+                # lo: a*x + r1 >= 0 (a>0)  =>  x >= -r1/a
+                # up: b*x + r2 >= 0 (b<0)  =>  x <= -r2/b = r2/|b|
+                # combination: -r1/a <= r2/|b|  =>  |b|*r1 + a*r2 >= 0
+                combined.append(Constraint(lo_rest * (-up_coeff) + up_rest * lo_coeff, GE))
+    result = others + combined
     return [c.normalized() for c in result if not c.is_trivially_true()]
 
 
+@perf.timed("fm")
 def eliminate_variables(constraints: Sequence[Constraint], names: Iterable[str]) -> list[Constraint]:
     """Eliminate several variables, one at a time."""
     current = list(constraints)
@@ -96,12 +112,22 @@ def eliminate_variables(constraints: Sequence[Constraint], names: Iterable[str])
     return current
 
 
+@perf.timed("fm")
 def project_out(basic_set: BasicSet, dim_names: Sequence[str]) -> BasicSet:
     """Project a basic set onto the dimensions not in ``dim_names``.
 
     The result is the rational projection restricted to integer points — an
-    over-approximation of the exact integer projection.
+    over-approximation of the exact integer projection.  Results are
+    memoised by set fingerprint; the returned ``BasicSet`` is shared and
+    must be treated as immutable (as all basic sets are).
     """
+    key = (basic_set.fingerprint(), tuple(dim_names))
+    return memo.PROJECTION_CACHE.get_or_compute(
+        key, lambda: _project_out_uncached(basic_set, dim_names)
+    )
+
+
+def _project_out_uncached(basic_set: BasicSet, dim_names: Sequence[str]) -> BasicSet:
     remaining = tuple(d for d in basic_set.space.dims if d not in dim_names)
     constraints = eliminate_variables(basic_set.constraints, dim_names)
     from .space import Space
@@ -110,6 +136,7 @@ def project_out(basic_set: BasicSet, dim_names: Sequence[str]) -> BasicSet:
     return BasicSet(space, constraints)
 
 
+@perf.timed("fm")
 def is_rationally_empty(constraints: Sequence[Constraint], variables: Sequence[str]) -> bool:
     """True when the conjunction has no rational solution in the given variables.
 
@@ -117,6 +144,15 @@ def is_rationally_empty(constraints: Sequence[Constraint], variables: Sequence[s
     means "empty for every parameter value", which is the sound direction for
     all independence tests in the lower-bound derivation.
     """
+    key = (tuple(c.key() for c in constraints), tuple(variables))
+    return memo.RATIONAL_EMPTINESS_CACHE.get_or_compute(
+        key, lambda: _is_rationally_empty_uncached(constraints, variables)
+    )
+
+
+def _is_rationally_empty_uncached(
+    constraints: Sequence[Constraint], variables: Sequence[str]
+) -> bool:
     try:
         remaining = eliminate_variables(constraints, variables)
     except EliminationError:
@@ -124,12 +160,22 @@ def is_rationally_empty(constraints: Sequence[Constraint], variables: Sequence[s
     return any(c.is_trivially_false() for c in remaining)
 
 
+@perf.timed("fm")
 def basic_set_is_empty(basic_set: BasicSet, context: Sequence[Constraint] = ()) -> bool:
     """Rational emptiness of a basic set, treating parameters existentially.
 
     ``context`` may supply extra assumptions on parameters (e.g. ``N >= 1``).
     Returns True only when the set is certainly empty.
     """
+    key = (basic_set.fingerprint(), tuple(c.key() for c in context))
+    return memo.EMPTINESS_CACHE.get_or_compute(
+        key, lambda: _basic_set_is_empty_uncached(basic_set, context)
+    )
+
+
+def _basic_set_is_empty_uncached(
+    basic_set: BasicSet, context: Sequence[Constraint] = ()
+) -> bool:
     constraints = list(basic_set.constraints) + list(context)
     names = list(basic_set.space.dims) + list(basic_set.space.params)
     extra = sorted({n for c in context for n in c.expr.names() if n not in names})

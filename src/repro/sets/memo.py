@@ -1,0 +1,175 @@
+"""Content-hash memoisation for the set-algebra hot path.
+
+The same trick as the persistent ``BoundStore``, applied in-process: results
+of pure, deterministic queries (emptiness, projection, simplification,
+rational linear algebra) are cached under a key derived from the *content*
+of their inputs, so structurally-equal sets reached through different
+derivation paths share one computation.
+
+Discipline for memo keys (see DESIGN.md "Set-algebra backends"):
+
+* keys must capture **everything** the result depends on — for
+  ``basic_set_is_empty`` that is the set fingerprint *and* the canonical
+  keys of the context constraints;
+* cached values must be immutable (tuples, frozen objects, ``bool``) so a
+  shared result can never be mutated by one caller under another;
+* never cache a result that depends on wall-clock or resource budgets
+  (``subspace_closure`` timeouts are *not* cached — only converged runs).
+
+Every cache is process-wide and lock-guarded, keeps hit/miss counters, and
+registers itself with :mod:`repro.perf` so ``python -m repro profile``
+reports hit rates.  Set ``REPRO_SETS_MEMO=0`` (or ``off``/``false``) to
+disable all caches — used by benchmarks to measure the cold pure path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Hashable, TypeVar
+
+from .. import perf
+
+_T = TypeVar("_T")
+
+MEMO_ENV = "REPRO_SETS_MEMO"
+
+_DISABLED_VALUES = {"0", "off", "false", "no"}
+
+
+def _read_enabled() -> bool:
+    return os.environ.get(MEMO_ENV, "1").strip().lower() not in _DISABLED_VALUES
+
+
+_enabled = _read_enabled()
+
+
+def memo_enabled() -> bool:
+    """Whether the in-process memo caches are active (``REPRO_SETS_MEMO``)."""
+    return _enabled
+
+
+def refresh_enabled() -> bool:
+    """Re-read ``REPRO_SETS_MEMO`` (tests flip the env var mid-process)."""
+    global _enabled
+    _enabled = _read_enabled()
+    return _enabled
+
+
+class MemoCache:
+    """A lock-guarded dict cache with hit/miss counters and a size cap.
+
+    On overflow the cache is simply cleared: the workloads here are
+    derivation-shaped (many repeats within one derivation, little value in
+    LRU bookkeeping), so a crude epoch flush keeps the fast path to a single
+    dict lookup.
+    """
+
+    __slots__ = ("name", "maxsize", "_data", "_lock", "hits", "misses")
+
+    def __init__(self, name: str, maxsize: int = 65536):
+        self.name = name
+        self.maxsize = maxsize
+        self._data: dict = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        perf.register_cache(name, self)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], _T]) -> _T:
+        if not _enabled:
+            return compute()
+        sentinel = _MISSING
+        with self._lock:
+            value = self._data.get(key, sentinel)
+            if value is not sentinel:
+                self.hits += 1
+                return value
+            self.misses += 1
+        value = compute()
+        with self._lock:
+            if len(self._data) >= self.maxsize:
+                self._data.clear()
+            self._data[key] = value
+        return value
+
+    def put(self, key: Hashable, value: _T) -> _T:
+        """Store without counting a miss (for caches filled conditionally)."""
+        if not _enabled:
+            return value
+        with self._lock:
+            if len(self._data) >= self.maxsize:
+                self._data.clear()
+            self._data[key] = value
+        return value
+
+    def lookup(self, key: Hashable):
+        """Return the cached value or ``_MISSING``; counts a hit or miss."""
+        if not _enabled:
+            return _MISSING
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+MISSING = _MISSING
+
+# -- shared caches for the set layer ----------------------------------------
+
+#: ``basic_set_is_empty`` results: (set fingerprint, context keys) -> bool
+EMPTINESS_CACHE = MemoCache("sets.is_empty")
+
+#: ``is_rationally_empty`` results: (constraint keys, variables) -> bool
+RATIONAL_EMPTINESS_CACHE = MemoCache("sets.rational_empty")
+
+#: ``project_out`` results: (set fingerprint, dims) -> BasicSet
+PROJECTION_CACHE = MemoCache("sets.project_out")
+
+#: ``BasicSet.simplify`` results: fingerprint -> BasicSet
+SIMPLIFY_CACHE = MemoCache("sets.simplify")
+
+
+def clear_all() -> None:
+    """Drop every registered set/linalg cache (tests and CLI)."""
+    for cache in _ALL_CACHES:
+        cache.clear()
+        cache.reset_counters()
+
+
+_ALL_CACHES: list[MemoCache] = [
+    EMPTINESS_CACHE,
+    RATIONAL_EMPTINESS_CACHE,
+    PROJECTION_CACHE,
+    SIMPLIFY_CACHE,
+]
+
+
+def register(cache: MemoCache) -> MemoCache:
+    """Track an externally created cache so :func:`clear_all` reaches it."""
+    _ALL_CACHES.append(cache)
+    return cache

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from .. import perf
 from .basic_set import GE, BasicSet, Constraint
 from .fourier_motzkin import basic_set_is_empty, project_out
 from .space import Space
@@ -41,6 +42,7 @@ class ParamSet:
 
     # -- queries -----------------------------------------------------------
 
+    @perf.timed("sets")
     def is_empty(self, context: Sequence[Constraint] = ()) -> bool:
         """True when every piece is (rationally, hence certainly) empty."""
         return all(basic_set_is_empty(piece, context) for piece in self.pieces)
@@ -57,6 +59,7 @@ class ParamSet:
     def contains_point(self, point: Sequence[int], params: Mapping[str, int]) -> bool:
         return any(piece.contains_point(point, params) for piece in self.pieces)
 
+    @perf.timed("sets")
     def enumerate_points(self, params: Mapping[str, int], bound: int = 2000) -> list[tuple[int, ...]]:
         """Enumerate integer points for concrete parameters (duplicates removed)."""
         seen: dict[tuple[int, ...], None] = {}
@@ -67,12 +70,14 @@ class ParamSet:
 
     # -- algebra -----------------------------------------------------------
 
+    @perf.timed("sets")
     def union(self, other: "ParamSet") -> "ParamSet":
         if other.space.dims != self.space.dims:
             raise ValueError("union of sets with different dimensions")
         space = self.space.with_params(other.space.params)
         return ParamSet(space, self.pieces + other.pieces)
 
+    @perf.timed("sets")
     def intersect(self, other: "ParamSet") -> "ParamSet":
         if other.space.dims != self.space.dims:
             raise ValueError("intersection of sets with different dimensions")
@@ -83,6 +88,7 @@ class ParamSet:
     def intersect_basic(self, basic: BasicSet) -> "ParamSet":
         return self.intersect(ParamSet.from_basic(basic))
 
+    @perf.timed("sets")
     def subtract(self, other: "ParamSet") -> "ParamSet":
         """Set difference ``self - other``.
 
@@ -102,11 +108,13 @@ class ParamSet:
             result_pieces = new_pieces
         return ParamSet(self.space, result_pieces)
 
+    @perf.timed("sets")
     def coalesce(self, context: Sequence[Constraint] = ()) -> "ParamSet":
         """Drop pieces that are rationally empty (cheap cleanup)."""
         kept = [p for p in self.pieces if not basic_set_is_empty(p, context)]
         return ParamSet(self.space, kept)
 
+    @perf.timed("sets")
     def project_onto(self, dims: Sequence[str]) -> "ParamSet":
         """Project onto the named dims, eliminating all others."""
         to_remove = [d for d in self.space.dims if d not in dims]

@@ -67,6 +67,23 @@ class TestCampaignCommand:
         document = json.loads(capsys.readouterr().out)
         assert document["seeds"] == [7]
 
+    def test_perf_flag_appends_attribution_table(self, capsys):
+        assert main([
+            "fuzz", "--seeds", "1", "--oracle", "counting", "--perf",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 failures" in out
+        assert "subsystem" in out and "memo cache" in out
+
+    def test_perf_flag_embeds_snapshot_in_json(self, capsys):
+        assert main([
+            "fuzz", "--seeds", "1", "--oracle", "counting", "--perf", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        names = [entry["name"] for entry in document["perf"]["subsystems"]]
+        assert "counting" in names
+
     def test_unknown_profile_is_an_argparse_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["fuzz", "--profile", "galactic"])

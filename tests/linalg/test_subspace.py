@@ -84,10 +84,42 @@ class TestLattice:
         assert Subspace.full(3) in lattice  # the sum
 
     def test_timeout_returns_original(self):
+        # A cold cache is required: a memoised converged closure is returned
+        # even under a zero budget (known answers beat the degraded fallback).
+        from repro.sets import memo
+
+        memo.clear_all()
         lattice = SubspaceLattice(3, [span((1, 0, 0))])
         result, changed = subspace_closure(lattice, span((0, 1, 0)), timeout_seconds=0.0)
         assert not changed
         assert result is lattice
+
+    def test_timeout_result_is_not_cached(self):
+        from repro.sets import memo
+
+        memo.clear_all()
+        lattice = SubspaceLattice(3, [span((1, 0, 0))])
+        kernel = span((0, 1, 0))
+        _, changed = subspace_closure(lattice, kernel, timeout_seconds=0.0)
+        assert not changed
+        # The timed-out state must not have been memoised: with a real budget
+        # the same closure converges.
+        result, changed = subspace_closure(lattice, kernel)
+        assert changed
+        assert kernel in result
+
+    def test_converged_closure_is_memoised(self):
+        from repro.sets import memo
+
+        memo.clear_all()
+        lattice = SubspaceLattice(3, [span((1, 0, 0))])
+        kernel = span((0, 1, 0))
+        first, changed_first = subspace_closure(lattice, kernel)
+        second, changed_second = subspace_closure(lattice, kernel)
+        assert changed_first and changed_second
+        assert first.elements == second.elements
+        # The hit must rebuild a fresh lattice (lattices are mutable).
+        assert first is not second
 
 
 vectors3 = st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)).filter(

@@ -262,6 +262,96 @@ class TestAlgebraDifferential:
             assert not (difference & overlap)
 
 
+# -- backend parity ------------------------------------------------------------
+
+from repro.sets import BACKEND_ENV  # noqa: E402
+from repro.sets import memo as sets_memo  # noqa: E402
+from repro.sets.backend import (  # noqa: E402
+    numba_available,
+    numpy_available,
+    reset_backend_cache,
+)
+
+#: Every optimised backend importable here; numba rides along when installed.
+OPTIMISED_BACKENDS = [
+    name
+    for name, available in (("numpy", numpy_available()), ("numba", numba_available()))
+    if available
+]
+
+
+@pytest.fixture
+def backend_env(monkeypatch):
+    """Activate a named set backend (and clear memo caches, so a cached
+    result from one backend can never stand in for another's computation)."""
+
+    def activate(name: str) -> None:
+        monkeypatch.setenv(BACKEND_ENV, name)
+        reset_backend_cache()
+        sets_memo.clear_all()
+
+    yield activate
+    reset_backend_cache()
+    sets_memo.clear_all()
+
+
+@pytest.mark.skipif(not OPTIMISED_BACKENDS, reason="no optimised backend importable")
+class TestBackendParity:
+    """Optimised backends must be byte-identical to the pure reference loops.
+
+    The differential battery re-runs under every importable optimised
+    backend, and the outputs are then compared against the pure backend
+    *exactly*: the same point lists in the same order, the same projected
+    constraint systems — not merely equivalent sets.
+    """
+
+    CASES = 30
+
+    @pytest.mark.parametrize("backend", OPTIMISED_BACKENDS)
+    def test_card_battery_under_optimised_backend(self, backend, backend_env):
+        backend_env(backend)
+        rng = random.Random(20260807)
+        compared = 0
+        for case in range(self.CASES):
+            pset = random_polytope(rng)
+            try:
+                symbolic = card(pset)
+            except CountingError:
+                continue
+            value = PARAM_VALUES[0]
+            points = pset.enumerate_points({"N": value})
+            if not points:
+                continue
+            assert symbolic.subs(sym("N"), value) == len(points), (
+                f"case {case} under backend {backend}\n{pset!r}"
+            )
+            compared += 1
+        assert compared >= self.CASES * 3 // 4
+
+    @pytest.mark.parametrize("backend", OPTIMISED_BACKENDS)
+    def test_enumeration_and_projection_byte_identical(self, backend, backend_env):
+        rng = random.Random(97531)
+        polys = [random_polytope(rng, ndim=rng.randint(2, 3)) for _ in range(self.CASES)]
+        keeps = [poly.space.dims[: 1 + case % 2] for case, poly in enumerate(polys)]
+
+        backend_env("pure")
+        ref_points = [poly.enumerate_points({"N": 9}) for poly in polys]
+        ref_projections = [
+            repr(poly.project_onto(list(keep))) for poly, keep in zip(polys, keeps)
+        ]
+
+        backend_env(backend)
+        fast_points = [poly.enumerate_points({"N": 9}) for poly in polys]
+        fast_projections = [
+            repr(poly.project_onto(list(keep))) for poly, keep in zip(polys, keeps)
+        ]
+
+        # Exact equality: identical points in identical order, identical
+        # canonicalised constraint systems after Fourier-Motzkin.
+        assert fast_points == ref_points
+        assert fast_projections == ref_projections
+
+
 # -- hypothesis property tests -------------------------------------------------
 
 box_bounds = st.tuples(

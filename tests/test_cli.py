@@ -83,6 +83,36 @@ class TestSuiteStreaming:
         assert "derivations: 0" in capsys.readouterr().out
 
 
+class TestProfile:
+    def test_table_reports_wall_time_and_subsystems(self, capsys):
+        assert main(["profile", "--kernels", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "cold derivation of 1 kernel(s)" in out
+        assert "linalg" in out and "wall" in out
+        assert "memo cache" in out
+
+    def test_json_document_shape(self, capsys):
+        assert main(["profile", "--kernels", "gemm", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["kernels"] == ["gemm"]
+        assert document["wall_s"] > 0
+        assert document["backend"] in {"pure", "numpy", "numba"}
+        names = [entry["name"] for entry in document["subsystems"]]
+        assert "linalg" in names
+        assert any(cache["name"] == "linalg.rref" for cache in document["caches"])
+
+    def test_output_file_receives_the_table(self, tmp_path, capsys):
+        report = tmp_path / "profile.txt"
+        assert main(["profile", "--kernels", "gemm", "--output", str(report)]) == 0
+        capsys.readouterr()
+        text = report.read_text()
+        assert "cold derivation" in text and "subsystem" in text
+
+    def test_unknown_kernel_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "--kernels", "nonexistent-kernel"])
+
+
 class TestServeArgs:
     def test_serve_is_registered_with_defaults(self):
         from repro.__main__ import build_parser
