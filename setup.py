@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-iolb",
-    version="1.9.0",
+    version="1.10.0",
     description=(
         "Reproduction of IOLB (PLDI 2020): automated parametric I/O "
         "lower bounds and operational-intensity upper bounds for affine programs"

@@ -273,6 +273,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from . import perf
     from .sets import memo as sets_memo
     from .sets.backend import get_backend
+    from .sets.counting import count_backend
 
     names = args.kernels if args.kernels else kernel_names()
     unknown = sorted(set(names) - set(kernel_names()))
@@ -289,6 +290,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     wall = time.perf_counter() - start
     snapshot = perf.snapshot()
     backend = get_backend().name
+    counting = count_backend()
     memo_state = "on" if sets_memo.memo_enabled() else "off"
 
     if args.json:
@@ -296,6 +298,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "kernels": list(names),
             "wall_s": wall,
             "backend": backend,
+            "count_backend": counting,
             "memo": sets_memo.memo_enabled(),
             **snapshot.to_dict(),
         }
@@ -304,7 +307,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     header = (
         f"cold derivation of {len(names)} kernel(s) in {wall:.2f}s "
-        f"(set backend: {backend}, memo: {memo_state})"
+        f"(set backend: {backend}, count backend: {counting}, memo: {memo_state})"
     )
     table = snapshot.format_table(wall)
     print(header)

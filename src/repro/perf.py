@@ -45,7 +45,9 @@ from time import perf_counter
 from typing import Callable, Iterable, Mapping
 
 #: Canonical subsystem order for tables (anything else sorts after these).
-SUBSYSTEMS = ("linalg", "fm", "sets", "counting", "rel-closure", "pebble-sim")
+SUBSYSTEMS = (
+    "linalg", "fm", "sets", "counting", "counting-sum", "rel-closure", "pebble-sim"
+)
 
 _lock = threading.Lock()
 _totals: dict[str, list[float]] = {}  # name -> [calls, inclusive, exclusive]

@@ -18,7 +18,19 @@ from .affine_map import AffineFunction
 from .backend import BACKEND_ENV, get_backend, numba_available, numpy_available
 from .basic_set import EQ, GE, BasicSet, Constraint
 from .memo import MEMO_ENV, memo_enabled
-from .counting import CountingError, card, card_at, card_basic, card_upper, lin_to_sympy, sym
+from .counting import (
+    COUNT_BACKEND_ENV,
+    COUNT_BACKENDS,
+    CountingError,
+    card,
+    card_at,
+    card_basic,
+    card_upper,
+    count_backend,
+    lin_to_sympy,
+    sym,
+)
+from .poly import Poly, PolyConversionError
 from .fourier_motzkin import (
     EliminationError,
     basic_set_is_empty,
@@ -33,6 +45,8 @@ from .space import Space
 
 __all__ = [
     "BACKEND_ENV",
+    "COUNT_BACKEND_ENV",
+    "COUNT_BACKENDS",
     "EQ",
     "GE",
     "MEMO_ENV",
@@ -44,6 +58,8 @@ __all__ = [
     "LinExpr",
     "ParamSet",
     "ParseError",
+    "Poly",
+    "PolyConversionError",
     "Space",
     "basic_set_is_empty",
     "get_backend",
@@ -54,6 +70,7 @@ __all__ = [
     "card_at",
     "card_basic",
     "card_upper",
+    "count_backend",
     "eliminate_variable",
     "eliminate_variables",
     "is_rationally_empty",

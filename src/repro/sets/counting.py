@@ -1,8 +1,8 @@
 """Symbolic cardinality of parametric sets (the barvinok substitute).
 
 ``card`` computes ``|D|`` as a sympy expression in the program parameters by
-eliminating dimensions innermost-first and summing polynomials symbolically
-(Faulhaber's formulas, via :func:`sympy.summation`).
+eliminating dimensions innermost-first and summing polynomial weights over
+affine bounds (Faulhaber's formulas).
 
 The result is exact whenever every dimension has unit-coefficient lower and
 upper bounds — which is the case for every PolyBench iteration domain and for
@@ -11,12 +11,31 @@ the "large" regime where all loop ranges are non-empty (the same assumption
 the paper makes when reporting its formulas; the final bound is guarded by a
 ``max(0, .)``).  Non-unit coefficients raise :class:`CountingError`, which the
 callers translate into a safely degraded (weaker) bound.
+
+Count backends
+--------------
+
+Two interchangeable engines carry the polynomial weight through the
+recursion (``REPRO_COUNT_BACKEND``, default ``native``):
+
+* ``native`` — :class:`repro.sets.poly.Poly`: exact ``Fraction`` monomial
+  dicts with the precomputed Faulhaber tables doing each per-dimension sum
+  in closed form.  Any weight or bound shape the native engine cannot
+  express *declines* to the sympy loop for that set instead of guessing.
+* ``sympy`` — the reference path: ``sympy.summation``/``sympy.expand`` at
+  every recursion step, byte-for-byte the historical implementation.
+
+Both return sympy expressions from :func:`card` / :func:`card_basic` /
+:func:`card_upper`, and both must produce *identical* expressions — CI
+compares golden bounds across the two, the fuzzing ``counting`` oracle
+asserts agreement per random program, and ``benchmarks/bench_counting.py``
+asserts byte-identical suite bounds plus the counting-subsystem speedup.
 """
 
 from __future__ import annotations
 
+import os
 from fractions import Fraction
-from functools import lru_cache
 from typing import Sequence
 
 import sympy
@@ -24,26 +43,36 @@ import sympy
 from .affine import LinExpr
 from .basic_set import EQ, GE, BasicSet, Constraint
 from .. import perf
+from . import memo
 from .fourier_motzkin import is_rationally_empty
+from .poly import Poly, PolyConversionError, sym
 from .pset import ParamSet
 
 MAX_SPLIT_DEPTH = 8
 MAX_UNION_PIECES_EXACT = 6
+
+#: Environment variable forcing a count backend (``native`` or ``sympy``).
+COUNT_BACKEND_ENV = "REPRO_COUNT_BACKEND"
+
+#: Recognised count backends, in preference order (auto-selection = native).
+COUNT_BACKENDS = ("native", "sympy")
 
 
 class CountingError(Exception):
     """Raised when the cardinality cannot be computed exactly."""
 
 
-@lru_cache(maxsize=None)
-def sym(name: str) -> sympy.Symbol:
-    """The sympy symbol used for a parameter or dimension name.
-
-    Symbols are integer but deliberately *not* marked positive: counting
-    bounds (and loop-parametrisation offsets) may be negative, and sympy's
-    concrete summation rejects inconsistent assumptions on its dummy index.
-    """
-    return sympy.Symbol(name, integer=True)
+def count_backend(name: str | None = None) -> str:
+    """Resolve the count backend: explicit name, else env, else ``native``."""
+    if name is None:
+        name = os.environ.get(COUNT_BACKEND_ENV) or None
+    if name is None:
+        return "native"
+    if name not in COUNT_BACKENDS:
+        raise KeyError(
+            f"unknown count backend {name!r} (expected 'native' or 'sympy')"
+        )
+    return name
 
 
 def lin_to_sympy(expr: LinExpr) -> sympy.Expr:
@@ -54,39 +83,98 @@ def lin_to_sympy(expr: LinExpr) -> sympy.Expr:
     return result
 
 
+class _SympyWeightEngine:
+    """The reference weight algebra: sympy expressions end to end.
+
+    Preserves the historical evaluation order exactly — ``sympy.summation``
+    then ``sympy.expand`` per eliminated dimension, ``expand`` on every
+    branch combination — so forcing ``REPRO_COUNT_BACKEND=sympy`` restores
+    the pre-native implementation byte for byte.
+    """
+
+    name = "sympy"
+    zero = sympy.Integer(0)
+    one = sympy.Integer(1)
+
+    def sum_over(self, weight, dim: str, lower: LinExpr, upper: LinExpr):
+        x = sym(dim)
+        with perf.section("counting-sum"):
+            total = sympy.summation(
+                weight, (x, lin_to_sympy(lower), lin_to_sympy(upper))
+            )
+            return sympy.expand(total)
+
+    def combine(self, first, second):
+        return sympy.expand(first + second)
+
+    def finalize(self, weight) -> sympy.Expr:
+        return weight
+
+
+class _NativeWeightEngine:
+    """The closed-form weight algebra: :class:`Poly` end to end.
+
+    The canonical dict-of-monomials form needs no ``expand`` between steps;
+    each per-dimension sum is a Faulhaber table lookup plus exact
+    ``Fraction`` dict merges.  Conversion to sympy happens once, at
+    :meth:`finalize` — the callers' final ``sympy.expand`` canonicalises the
+    converted polynomial into exactly the expression the sympy engine
+    produces.
+    """
+
+    name = "native"
+    zero = Poly.zero()
+    one = Poly.one()
+
+    def sum_over(self, weight: Poly, dim: str, lower: LinExpr, upper: LinExpr):
+        with perf.section("counting-sum"):
+            return weight.sum_over(dim, lower, upper)
+
+    def combine(self, first: Poly, second: Poly) -> Poly:
+        return first + second
+
+    def finalize(self, weight: Poly) -> sympy.Expr:
+        return weight.to_sympy()
+
+
+_ENGINES = {"sympy": _SympyWeightEngine(), "native": _NativeWeightEngine()}
+
+
 @perf.timed("counting")
-def card(pset: ParamSet | BasicSet) -> sympy.Expr:
+def card(pset: ParamSet | BasicSet, backend: str | None = None) -> sympy.Expr:
     """Exact symbolic cardinality (large-parameter regime)."""
     if isinstance(pset, BasicSet):
-        return card_basic(pset)
+        return card_basic(pset, backend=backend)
     pieces = [p for p in pset.pieces if not p.has_trivially_false_constraint()]
     if not pieces:
         return sympy.Integer(0)
     if len(pieces) == 1:
-        return card_basic(pieces[0])
+        return card_basic(pieces[0], backend=backend)
     if len(pieces) > MAX_UNION_PIECES_EXACT:
         raise CountingError("too many pieces for exact inclusion-exclusion")
-    return _inclusion_exclusion(pieces)
+    return _inclusion_exclusion(pieces, backend)
 
 
 @perf.timed("counting")
-def card_upper(pset: ParamSet | BasicSet) -> sympy.Expr:
+def card_upper(pset: ParamSet | BasicSet, backend: str | None = None) -> sympy.Expr:
     """Upper bound on the cardinality: the sum of the piece cardinalities.
 
     Used for quantities (sources, In-sets, may-spill sets) where an
     over-approximation keeps the derived lower bound valid.
     """
     if isinstance(pset, BasicSet):
-        return card_basic(pset)
+        return card_basic(pset, backend=backend)
     total = sympy.Integer(0)
     for piece in pset.pieces:
         if piece.has_trivially_false_constraint():
             continue
-        total += card_basic(piece)
+        total += card_basic(piece, backend=backend)
     return total
 
 
-def _inclusion_exclusion(pieces: Sequence[BasicSet]) -> sympy.Expr:
+def _inclusion_exclusion(
+    pieces: Sequence[BasicSet], backend: str | None = None
+) -> sympy.Expr:
     from itertools import combinations
 
     total = sympy.Integer(0)
@@ -102,17 +190,46 @@ def _inclusion_exclusion(pieces: Sequence[BasicSet]) -> sympy.Expr:
             variables = list(current.space.dims) + list(current.space.params)
             if is_rationally_empty(current.constraints, variables):
                 continue
-            total += sign * card_basic(current)
+            total += sign * card_basic(current, backend=backend)
     return sympy.expand(total)
 
 
 @perf.timed("counting")
-def card_basic(basic: BasicSet) -> sympy.Expr:
-    """Exact symbolic cardinality of one basic set."""
+def card_basic(basic: BasicSet, backend: str | None = None) -> sympy.Expr:
+    """Exact symbolic cardinality of one basic set.
+
+    Results are memoised on the set's content fingerprint (plus the resolved
+    count backend) through :mod:`repro.sets.memo`, so structurally-equal
+    domains reached along different derivation paths share one computation.
+    Sets the counting recursion rejects (:class:`CountingError`) are *not*
+    cached — callers degrade those to weaker bounds and the failure is cheap
+    to rediscover.
+    """
+    resolved = count_backend(backend)
     if basic.has_trivially_false_constraint():
         return sympy.Integer(0)
-    constraints, dims = _substitute_equalities(list(basic.constraints), list(basic.space.dims))
-    return sympy.expand(_count(constraints, dims, sympy.Integer(1), 0, ()))
+    return memo.CARD_CACHE.get_or_compute(
+        (basic.fingerprint(), resolved), lambda: _card_basic_cold(basic, resolved)
+    )
+
+
+def _card_basic_cold(basic: BasicSet, resolved: str) -> sympy.Expr:
+    constraints, dims = _substitute_equalities(
+        list(basic.constraints), list(basic.space.dims)
+    )
+    if resolved == "native":
+        engine = _ENGINES["native"]
+        try:
+            weight = _count(constraints, dims, engine.one, 0, (), engine)
+            return sympy.expand(engine.finalize(weight))
+        except PolyConversionError:
+            # Decline: anything outside the native engine's domain falls
+            # back to the sympy reference loop rather than guessing.
+            pass
+    engine = _ENGINES["sympy"]
+    return sympy.expand(
+        engine.finalize(_count(constraints, dims, engine.one, 0, (), engine))
+    )
 
 
 @perf.timed("counting")
@@ -163,11 +280,16 @@ def _substitute_equalities(
 def _count(
     constraints: list[Constraint],
     dims: list[str],
-    weight: sympy.Expr,
+    weight,
     split_depth: int,
     split_conditions: tuple[Constraint, ...],
-) -> sympy.Expr:
-    """Recursive counting kernel.
+    engine,
+):
+    """Recursive counting kernel, generic over the weight engine.
+
+    ``weight`` is whatever the ``engine`` (native :class:`Poly` or sympy)
+    carries: the recursion only ever sums it over one dimension between two
+    affine bounds, adds branch contributions, and returns it at the leaf.
 
     ``split_conditions`` holds the extra constraints introduced by case splits
     (see :func:`_split_and_count`).  They participate in bound extraction like
@@ -177,7 +299,7 @@ def _count(
     """
     if not dims:
         if any(c.is_trivially_false() for c in list(constraints) + list(split_conditions)):
-            return sympy.Integer(0)
+            return engine.zero
         # Residual *split* conditions on parameters are resolved under the
         # paper's asymptotic regime (all parameters large, growing together):
         #   sum of coefficients > 0  -> eventually satisfied  -> keep
@@ -188,7 +310,7 @@ def _count(
                 continue
             total = sum(constraint.expr.coeffs.values())
             if total < 0:
-                return sympy.Integer(0)
+                return engine.zero
             if total == 0:
                 raise CountingError(
                     f"cannot order parameters in split condition {constraint!r}"
@@ -235,7 +357,7 @@ def _count(
         if pair is None:
             raise CountingError("no dominant bound but no incomparable pair found")
         return _split_and_count(
-            constraints, dims, weight, split_depth, split_conditions, pair
+            constraints, dims, weight, split_depth, split_conditions, pair, engine
         )
 
     if split_conditions:
@@ -254,13 +376,12 @@ def _count(
         gap = Constraint(upper - lower, GE)
         if not is_rationally_empty(outer + [Constraint(lower - upper - 1, GE)], names):
             if is_rationally_empty(outer + [gap], names):
-                return sympy.Integer(0)
+                return engine.zero
             remaining_splits = remaining_splits + [gap]
 
-    x = sym(dim)
-    length_sum = sympy.summation(weight, (x, lin_to_sympy(lower), lin_to_sympy(upper)))
+    length_sum = engine.sum_over(weight, dim, lower, upper)
     return _count(
-        remaining, dims[:-1], sympy.expand(length_sum), split_depth, tuple(remaining_splits)
+        remaining, dims[:-1], length_sum, split_depth, tuple(remaining_splits), engine
     )
 
 
@@ -339,11 +460,12 @@ def _find_incomparable_pair(
 def _split_and_count(
     constraints: list[Constraint],
     dims: list[str],
-    weight: sympy.Expr,
+    weight,
     split_depth: int,
     split_conditions: tuple[Constraint, ...],
     pair: tuple[LinExpr, LinExpr],
-) -> sympy.Expr:
+    engine,
+):
     """Case-split on the order of two incomparable bounds and recurse.
 
     The two branch conditions are carried as *split conditions* so that any
@@ -355,7 +477,7 @@ def _split_and_count(
     first, second = pair
     case_ge = split_conditions + (Constraint(first - second, GE),)
     case_lt = split_conditions + (Constraint(second - first - 1, GE),)
-    return sympy.expand(
-        _count(constraints, dims, weight, split_depth + 1, case_ge)
-        + _count(constraints, dims, weight, split_depth + 1, case_lt)
+    return engine.combine(
+        _count(constraints, dims, weight, split_depth + 1, case_ge, engine),
+        _count(constraints, dims, weight, split_depth + 1, case_lt, engine),
     )

@@ -153,6 +153,9 @@ PROJECTION_CACHE = MemoCache("sets.project_out")
 #: ``BasicSet.simplify`` results: fingerprint -> BasicSet
 SIMPLIFY_CACHE = MemoCache("sets.simplify")
 
+#: ``card_basic`` closed forms: (set fingerprint, count backend) -> sympy.Expr
+CARD_CACHE = MemoCache("counting.card_basic")
+
 
 def clear_all() -> None:
     """Drop every registered set/linalg cache (tests and CLI)."""
@@ -166,6 +169,7 @@ _ALL_CACHES: list[MemoCache] = [
     RATIONAL_EMPTINESS_CACHE,
     PROJECTION_CACHE,
     SIMPLIFY_CACHE,
+    CARD_CACHE,
 ]
 
 

@@ -100,5 +100,25 @@ class TestVerdictShape:
         verdict = run_oracle(
             "counting", random_program(2, "small"), OracleContext.for_case(2, "small")
         )
-        # 2 statements + input-size + total-flops, at each of 2 instances.
-        assert verdict.checks == 8
+        # 2 statements compared across count backends, then 2 statements +
+        # input-size + total-flops at each of 2 instances.
+        assert verdict.checks == 10
+
+    def test_counting_oracle_reports_backend_divergence(self, monkeypatch):
+        from repro.fuzz import oracles
+
+        real = oracles._backend_card
+        monkeypatch.setattr(
+            oracles,
+            "_backend_card",
+            lambda program, statement, backend: (
+                real(program, statement, backend)
+                + (1 if backend == "native" and statement == "Q" else 0)
+            ),
+        )
+        verdict = run_oracle(
+            "counting", random_program(2, "small"), OracleContext.for_case(2, "small")
+        )
+        assert not verdict.ok
+        assert verdict.divergence["kind"] == "count-backend-mismatch"
+        assert verdict.divergence["statement"] == "Q"

@@ -111,8 +111,11 @@ class TestWarmStoreSuite:
             assert analysis.result.asymptotic == (
                 cold_by_name[analysis.spec.name].result.asymptotic
             )
-        assert warm_seconds * 10 <= cold_suite.seconds, (
-            f"warm suite run ({warm_seconds:.2f}s) not >=10x faster than the "
+        # 5x, not 10x: the native closed-form counting engine cut the cold
+        # suite itself to a handful of seconds, so the old 10x margin left
+        # almost no headroom between store round-trips and a fast cold run.
+        assert warm_seconds * 5 <= cold_suite.seconds, (
+            f"warm suite run ({warm_seconds:.2f}s) not >=5x faster than the "
             f"cold run ({cold_suite.seconds:.2f}s)"
         )
 

@@ -1,10 +1,19 @@
 """Tests for symbolic cardinality: exactness against brute-force enumeration."""
 
+import pytest
 import sympy
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sets import card, card_at, card_upper, parse_set, sym
+from repro.sets import (
+    COUNT_BACKENDS,
+    card,
+    card_at,
+    card_upper,
+    count_backend,
+    parse_set,
+    sym,
+)
 
 
 def instance_value(expr, **values):
@@ -108,3 +117,89 @@ def test_nested_split_branches_guard_empty_subranges():
     symbolic = card(d)
     for n in (9, 12, 15, 20, 30):
         assert instance_value(symbolic, N=n) == card_at(d, {"N": n})
+
+
+BACKEND_AGREEMENT_CASES = [
+    "[M, N] -> { S[i, j] : 0 <= i < M and 0 <= j < N }",
+    "[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }",
+    "[N] -> { S[k, i, j] : 1 <= k < N and k + 1 <= i < N and k + 1 <= j <= i }",
+    "[N, W] -> { S[i, j] : 0 <= i < N and 0 <= j < N and i = W }",
+    "[N] -> { S[i] : i < 0 and i >= 0 }",
+    "[N] -> { S[i, j] : 0 <= i < N and 0 <= j and j <= i - 3 }",
+    # The nested-split regression set: both backends must run the same case
+    # splits and guard the same branch-empty sub-ranges.
+    "[N] -> { D[i0, i1, i2] : 3 <= i0 and i0 <= N - 2 and "
+    "4 <= i1 and i1 <= N - 2 and i1 <= i0 + 2 and "
+    "5 <= i2 and i2 <= N - 1 and i2 <= i1 + 3 }",
+]
+
+
+class TestCountBackends:
+    def test_backend_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COUNT_BACKEND", raising=False)
+        assert count_backend() == "native"
+        monkeypatch.setenv("REPRO_COUNT_BACKEND", "sympy")
+        assert count_backend() == "sympy"
+        assert count_backend("native") == "native"  # explicit beats env
+        with pytest.raises(KeyError, match="unknown count backend"):
+            count_backend("isl")
+        monkeypatch.setenv("REPRO_COUNT_BACKEND", "bogus")
+        with pytest.raises(KeyError, match="unknown count backend"):
+            count_backend()
+
+    @pytest.mark.parametrize("text", BACKEND_AGREEMENT_CASES)
+    def test_backends_byte_identical(self, text):
+        d = parse_set(text)
+        results = {b: sympy.sstr(card(d, backend=b)) for b in COUNT_BACKENDS}
+        assert results["native"] == results["sympy"], text
+
+    def test_card_basic_memoises_per_backend(self):
+        from repro.sets import memo
+
+        memo.refresh_enabled()
+        d = parse_set("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }")
+        memo.CARD_CACHE.clear()
+        memo.CARD_CACHE.reset_counters()
+        first = card(d, backend="native")
+        misses = memo.CARD_CACHE.misses
+        hits_before = memo.CARD_CACHE.hits
+        assert card(d, backend="native") == first
+        assert memo.CARD_CACHE.hits == hits_before + 1
+        assert memo.CARD_CACHE.misses == misses
+        # The other backend is a distinct cache key, not a stale hit.
+        assert sympy.sstr(card(d, backend="sympy")) == sympy.sstr(first)
+        assert memo.CARD_CACHE.misses == misses + 1
+
+    def test_memo_kill_switch(self, monkeypatch):
+        from repro.sets import memo
+
+        monkeypatch.setenv("REPRO_SETS_MEMO", "0")
+        memo.refresh_enabled()
+        try:
+            d = parse_set("[N] -> { S[i] : 0 <= i < N }")
+            memo.CARD_CACHE.clear()
+            memo.CARD_CACHE.reset_counters()
+            card(d, backend="native")
+            card(d, backend="native")
+            assert memo.CARD_CACHE.hits == 0 and len(memo.CARD_CACHE) == 0
+        finally:
+            monkeypatch.delenv("REPRO_SETS_MEMO", raising=False)
+            memo.refresh_enabled()
+
+    def test_counting_sum_timer_attributes_summation(self):
+        from repro import perf
+
+        perf.reset()
+        d = parse_set("[N] -> { S[i, j] : 0 <= i < N and 0 <= j <= i }")
+        from repro.sets import memo
+
+        memo.CARD_CACHE.clear()
+        card(d, backend="native")
+        snapshot = perf.snapshot()
+        counting = snapshot.timing("counting")
+        summation = snapshot.timing("counting-sum")
+        assert counting is not None and counting.calls > 0
+        assert summation is not None and summation.calls > 0
+        # counting-sum nests inside counting: its time must not double-count
+        # into counting's exclusive column.
+        assert summation.inclusive_s <= counting.inclusive_s
